@@ -1,0 +1,82 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not figures from the paper; they isolate the contribution of
+individual RingBFT design decisions using the analytical model:
+
+* **Linear forwarding vs global all-to-all** -- replace RingBFT's cross-shard
+  step with Sharper-style all-to-all phases and measure the throughput loss.
+* **MAC vs DS authentication** -- the paper uses MACs inside shards and
+  digital signatures across shards; pricing everything as signatures shows
+  why that split matters.
+* **WAN bandwidth sensitivity** -- protocols that concentrate cross-shard
+  traffic (AHL's committee) degrade much faster as per-node WAN bandwidth
+  shrinks.
+"""
+
+import dataclasses
+
+from repro.analytical import CostParameters, DeploymentSpec, estimate, model_by_name
+
+STANDARD = DeploymentSpec()
+
+
+def test_ablation_linear_vs_all_to_all_forwarding(benchmark, show_table):
+    """RingBFT's linear cross-shard step vs Sharper-style global communication."""
+
+    def run():
+        ring = estimate(model_by_name("RingBFT"), STANDARD)
+        all_to_all = estimate(model_by_name("Sharper"), STANDARD)
+        return [
+            {"variant": "linear forwarding (RingBFT)", "throughput_tps": round(ring.throughput_tps, 1)},
+            {"variant": "global all-to-all (Sharper-style)", "throughput_tps": round(all_to_all.throughput_tps, 1)},
+        ]
+
+    rows = benchmark(run)
+    show_table("Ablation: cross-shard communication pattern", rows)
+    assert rows[0]["throughput_tps"] > 2.0 * rows[1]["throughput_tps"]
+
+
+def test_ablation_mac_vs_signature_authentication(benchmark, show_table):
+    """Intra-shard MACs vs pricing every message as a digital signature."""
+
+    def run():
+        mixed = estimate(model_by_name("RingBFT"), STANDARD)
+        all_ds = dataclasses.replace(
+            CostParameters(),
+            mac_cpu_s=CostParameters().ds_verify_cpu_s,
+        )
+        signatures_everywhere = estimate(model_by_name("RingBFT"), STANDARD, all_ds)
+        return [
+            {"variant": "MAC intra-shard + DS cross-shard (paper)", "throughput_tps": round(mixed.throughput_tps, 1)},
+            {"variant": "DS for every message", "throughput_tps": round(signatures_everywhere.throughput_tps, 1)},
+        ]
+
+    rows = benchmark(run)
+    show_table("Ablation: authentication scheme", rows)
+    assert rows[0]["throughput_tps"] > rows[1]["throughput_tps"]
+
+
+def test_ablation_wan_bandwidth_sensitivity(benchmark, show_table):
+    """Centralised cross-shard coordination suffers most from scarce WAN bandwidth."""
+
+    def run():
+        rows = []
+        for label, bandwidth in (("ample (1 Gb/s)", 1.0e9), ("scarce (150 Mb/s)", 0.15e9)):
+            params = dataclasses.replace(CostParameters(), wan_bandwidth_bps=bandwidth)
+            for protocol in ("RingBFT", "AHL"):
+                result = estimate(model_by_name(protocol), STANDARD, params)
+                rows.append(
+                    {
+                        "wan_bandwidth": label,
+                        "protocol": protocol,
+                        "throughput_tps": round(result.throughput_tps, 1),
+                    }
+                )
+        return rows
+
+    rows = benchmark(run)
+    show_table("Ablation: per-node WAN bandwidth", rows)
+    by_key = {(r["protocol"], r["wan_bandwidth"]): r["throughput_tps"] for r in rows}
+    ring_drop = by_key[("RingBFT", "scarce (150 Mb/s)")] / by_key[("RingBFT", "ample (1 Gb/s)")]
+    ahl_drop = by_key[("AHL", "scarce (150 Mb/s)")] / by_key[("AHL", "ample (1 Gb/s)")]
+    assert ahl_drop < ring_drop  # the committee is hurt more by scarce WAN bandwidth

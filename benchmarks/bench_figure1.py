@@ -1,0 +1,24 @@
+"""Figure 1: scalability of BFT protocol families (intro headline figure).
+
+Regenerates the throughput of RingBFT (9 shards, 0% and 15% cross-shard) and
+of the fully-replicated protocols (Pbft, Sbft, HotStuff, Rcc, PoE, Zyzzyva)
+for 4, 16, and 32 replicas per group.
+"""
+
+from repro.experiments import figure1
+
+
+def test_figure1_scalability(benchmark, show_table):
+    rows = benchmark(figure1.run)
+    show_table("Figure 1: throughput vs number of nodes", rows)
+
+    by_key = {(r["protocol"], r["nodes_per_group"]): r["throughput_tps"] for r in rows}
+    for nodes in figure1.NODE_COUNTS:
+        # RingBFT (sharded) dominates every fully-replicated protocol ...
+        for protocol in figure1.FULLY_REPLICATED:
+            assert by_key[("RingBFT", nodes)] > by_key[(protocol, nodes)]
+        # ... and adding 15% cross-shard transactions costs throughput.
+        assert by_key[("RingBFT", nodes)] > by_key[("RingBFT_X", nodes)]
+    # Fully-replicated protocols degrade as the group grows; RingBFT stays high.
+    assert by_key[("Pbft", 32)] < by_key[("Pbft", 4)]
+    assert by_key[("RingBFT", 32)] > 5 * by_key[("Pbft", 32)]

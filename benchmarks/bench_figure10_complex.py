@@ -1,0 +1,35 @@
+"""Figure 10: complex cross-shard transactions with remote-read dependencies.
+
+Regenerates the RingBFT-only sweep over 0-64 remote reads per transaction at
+paper scale with the analytical model, and additionally validates the second
+rotation end-to-end in the message-level simulator (a complex transaction
+whose dependencies must be resolved from the accumulated write sets).
+"""
+
+from repro.experiments import figure10
+
+
+def test_figure10_remote_reads_sweep(benchmark, show_table):
+    rows = benchmark(figure10.run)
+    show_table("Figure 10: impact of remote reads (complex transactions)", rows)
+
+    values = {row["remote_reads"]: row["throughput_tps"] for row in rows}
+    ordered = [values[count] for count in sorted(values)]
+    # Throughput decreases as dependencies are added, but stays "reasonable"
+    # (Section 8.8: at 64 remote reads RingBFT still beats both baselines'
+    # zero-dependency throughput).
+    assert ordered == sorted(ordered, reverse=True)
+    assert values[64] > 0.3 * values[0]
+
+
+def test_figure10_protocol_mode_dependency_resolution(benchmark):
+    summary = benchmark.pedantic(
+        figure10.run_protocol_validation,
+        kwargs={"num_shards": 4, "remote_reads": 6},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n=== Figure 10 protocol-mode validation === {summary}")
+    assert summary["completed"]
+    assert summary["is_complex"]
+    assert summary["resolved_dependencies"] == summary["expected_dependencies"]

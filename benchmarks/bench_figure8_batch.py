@@ -1,0 +1,23 @@
+"""Figure 8 (VII)-(VIII): impact of the consensus batch size."""
+
+from repro.experiments import figure8
+
+
+def test_figure8_impact_of_batch_size(benchmark, show_table):
+    rows = benchmark(figure8.impact_of_batch_size)
+    show_table("Figure 8 (VII)-(VIII): impact of batch size", rows)
+
+    ring = {r["batch_size"]: r for r in rows if r["protocol"] == "RingBFT"}
+    # Batching amortises consensus: throughput grows steeply from tiny batches
+    # (the paper reports ~27x from batch 10 to the optimum) and then levels
+    # off once the pipeline saturates.
+    assert ring[100]["throughput_tps"] > 4 * ring[10]["throughput_tps"]
+    assert ring[1500]["throughput_tps"] > 10 * ring[10]["throughput_tps"]
+    gain_small_step = ring[1500]["throughput_tps"] / ring[1000]["throughput_tps"]
+    gain_large_step = ring[5000]["throughput_tps"] / ring[1500]["throughput_tps"]
+    assert gain_small_step < 1.5
+    assert gain_large_step < 1.5  # diminishing returns past the sweet spot
+    # Every protocol benefits from batching.
+    for protocol in ("Sharper", "AHL"):
+        points = {r["batch_size"]: r for r in rows if r["protocol"] == protocol}
+        assert points[1000]["throughput_tps"] > points[10]["throughput_tps"]

@@ -1,0 +1,23 @@
+"""Figure 8 (XI)-(XII): impact of the number of clients (in-flight transactions)."""
+
+from repro.experiments import figure8
+
+
+def test_figure8_impact_of_clients(benchmark, show_table):
+    rows = benchmark(figure8.impact_of_clients)
+    show_table("Figure 8 (XI)-(XII): impact of clients", rows)
+
+    series = {
+        protocol: {r["num_clients"]: r for r in rows if r["protocol"] == protocol}
+        for protocol in ("RingBFT", "Sharper", "AHL")
+    }
+    ring = series["RingBFT"]
+    # More clients push the system towards saturation: throughput rises
+    # (the paper reports a 15-20% increase) and latency grows with the number
+    # of in-flight transactions.
+    assert ring[20_000]["throughput_tps"] >= ring[3_000]["throughput_tps"]
+    assert ring[20_000]["latency_s"] > ring[3_000]["latency_s"]
+    # RingBFT sustains more load than the baselines at every client count.
+    for clients in (3_000, 10_000, 20_000):
+        assert ring[clients]["throughput_tps"] >= series["Sharper"][clients]["throughput_tps"]
+        assert ring[clients]["throughput_tps"] > series["AHL"][clients]["throughput_tps"]

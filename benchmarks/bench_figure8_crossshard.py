@@ -1,0 +1,34 @@
+"""Figure 8 (V)-(VI): impact of the cross-shard transaction rate."""
+
+import pytest
+
+from repro.experiments import figure8
+
+
+def test_figure8_impact_of_cross_shard_rate(benchmark, show_table):
+    rows = benchmark(figure8.impact_of_cross_shard_rate)
+    show_table("Figure 8 (V)-(VI): impact of cross-shard workload rate", rows)
+
+    series = {
+        protocol: {r["cross_shard_fraction"]: r for r in rows if r["protocol"] == protocol}
+        for protocol in ("RingBFT", "Sharper", "AHL")
+    }
+    # At 0% cross-shard all three protocols coincide (they share the PBFT
+    # single-shard path) at the deployment's peak throughput.
+    peak = series["RingBFT"][0.0]["throughput_tps"]
+    assert series["Sharper"][0.0]["throughput_tps"] == pytest.approx(peak, rel=1e-6)
+    assert series["AHL"][0.0]["throughput_tps"] == pytest.approx(peak, rel=1e-6)
+    assert peak > 500_000  # the paper reports ~1.2M txn/s at this point
+
+    # Even 5% cross-shard transactions cause a steep drop for every protocol.
+    for protocol, points in series.items():
+        assert points[0.05]["throughput_tps"] < 0.5 * points[0.0]["throughput_tps"]
+
+    # Throughput decreases monotonically with the cross-shard rate, and at
+    # 100% cross-shard RingBFT keeps the paper's advantage (~4x / ~18x).
+    for protocol, points in series.items():
+        values = [points[x]["throughput_tps"] for x in sorted(points)]
+        assert values == sorted(values, reverse=True)
+    ring_full = series["RingBFT"][1.0]["throughput_tps"]
+    assert ring_full / series["Sharper"][1.0]["throughput_tps"] > 2.5
+    assert ring_full / series["AHL"][1.0]["throughput_tps"] > 8.0

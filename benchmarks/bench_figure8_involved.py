@@ -1,0 +1,32 @@
+"""Figure 8 (IX)-(X): impact of the number of involved shards per transaction."""
+
+import pytest
+
+from repro.experiments import figure8
+
+
+def test_figure8_impact_of_involved_shards(benchmark, show_table):
+    rows = benchmark(figure8.impact_of_involved_shards)
+    show_table("Figure 8 (IX)-(X): impact of involved shards", rows)
+
+    series = {
+        protocol: {r["involved_shards"]: r for r in rows if r["protocol"] == protocol}
+        for protocol in ("RingBFT", "Sharper", "AHL")
+    }
+    # One involved shard degenerates to a single-shard workload: all equal.
+    base = series["RingBFT"][1]["throughput_tps"]
+    assert series["Sharper"][1]["throughput_tps"] == pytest.approx(base, rel=1e-6)
+    assert series["AHL"][1]["throughput_tps"] == pytest.approx(base, rel=1e-6)
+
+    # Throughput decreases as transactions touch more shards ...
+    for protocol, points in series.items():
+        values = [points[i]["throughput_tps"] for i in sorted(points)]
+        assert values == sorted(values, reverse=True)
+
+    # ... and the performance gap between RingBFT and the baselines widens
+    # with the involved-shard count (4% at 3 shards growing to ~4x at 15 in
+    # the paper; the shape, not the exact factor, is what we check).
+    gap_small = series["RingBFT"][3]["throughput_tps"] / series["Sharper"][3]["throughput_tps"]
+    gap_large = series["RingBFT"][15]["throughput_tps"] / series["Sharper"][15]["throughput_tps"]
+    assert gap_large > gap_small
+    assert series["RingBFT"][15]["throughput_tps"] > series["AHL"][15]["throughput_tps"] * 8

@@ -1,0 +1,26 @@
+"""Figure 8 (III)-(IV): impact of the number of replicas per shard."""
+
+from repro.experiments import figure8
+
+
+def test_figure8_impact_of_replicas_per_shard(benchmark, show_table):
+    rows = benchmark(figure8.impact_of_replicas)
+    show_table("Figure 8 (III)-(IV): impact of replicas per shard", rows)
+
+    series = {
+        protocol: {r["replicas_per_shard"]: r for r in rows if r["protocol"] == protocol}
+        for protocol in ("RingBFT", "Sharper", "AHL")
+    }
+    # Increasing intra-shard replication costs throughput for every protocol
+    # (PBFT's quadratic phases grow), and RingBFT remains the fastest at
+    # every replication level.
+    for protocol, points in series.items():
+        assert points[28]["throughput_tps"] < points[10]["throughput_tps"]
+    for n in (10, 16, 22, 28):
+        assert (
+            series["RingBFT"][n]["throughput_tps"]
+            > series["Sharper"][n]["throughput_tps"]
+            > series["AHL"][n]["throughput_tps"]
+        )
+    # Paper: up to ~16x over AHL and ~11x lower latency.
+    assert series["RingBFT"][28]["throughput_tps"] / series["AHL"][28]["throughput_tps"] > 8.0

@@ -1,0 +1,25 @@
+"""Figure 8 (I)-(II): impact of the number of shards on throughput and latency."""
+
+from repro.experiments import figure8
+
+
+def test_figure8_impact_of_shards(benchmark, show_table):
+    rows = benchmark(figure8.impact_of_shards)
+    show_table("Figure 8 (I)-(II): impact of shards", rows)
+
+    series = {
+        protocol: {r["num_shards"]: r for r in rows if r["protocol"] == protocol}
+        for protocol in ("RingBFT", "Sharper", "AHL")
+    }
+    # RingBFT throughput stays roughly flat as shards are added (linear
+    # neighbour-to-neighbour communication), while its latency grows with the
+    # length of the ring.
+    assert series["RingBFT"][15]["throughput_tps"] > 0.7 * series["RingBFT"][3]["throughput_tps"]
+    assert series["RingBFT"][15]["latency_s"] > series["RingBFT"][3]["latency_s"]
+    # The baselines degrade with more shards; at 15 shards RingBFT wins by the
+    # paper's margins (about 4x over Sharper and 16x over AHL).
+    assert series["Sharper"][15]["throughput_tps"] < series["Sharper"][3]["throughput_tps"]
+    assert series["AHL"][15]["throughput_tps"] < series["AHL"][3]["throughput_tps"]
+    ring_15 = series["RingBFT"][15]["throughput_tps"]
+    assert ring_15 / series["Sharper"][15]["throughput_tps"] > 2.5
+    assert ring_15 / series["AHL"][15]["throughput_tps"] > 8.0

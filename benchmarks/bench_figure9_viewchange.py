@@ -1,0 +1,43 @@
+"""Figure 9: throughput under primary failure and view change (protocol mode).
+
+Unlike the Figure 1/8/10 benches, this experiment runs the message-level
+simulator: nine RingBFT shards process an open-loop workload while the
+primaries of the first three shards crash at t=10s.  The throughput timeline
+shows the dip at the failure and the recovery after the view change, which is
+the shape Figure 9 reports.
+"""
+
+from repro.experiments import figure9
+from repro.experiments.figure9 import Figure9Config
+
+#: Scaled-down configuration so the protocol-mode run finishes quickly.
+BENCH_CONFIG = Figure9Config(
+    num_shards=9,
+    replicas_per_shard=4,
+    failed_shards=3,
+    failure_time=10.0,
+    horizon=45.0,
+    submit_rate_per_s=4.0,
+)
+
+
+def test_figure9_primary_failure_timeline(benchmark, show_table):
+    rows = benchmark.pedantic(figure9.run, args=(BENCH_CONFIG,), rounds=1, iterations=1)
+    show_table("Figure 9: throughput under primary failure (3 of 9 shards)", rows)
+
+    summary = rows[-1]
+    series = {row["time_s"]: row["throughput_tps"] for row in rows[:-1]}
+
+    before = series[5.0]
+    during = series[BENCH_CONFIG.failure_time]
+    recovery = max(
+        tput for time, tput in series.items() if BENCH_CONFIG.failure_time + 10 <= time <= 40.0
+    )
+    # The failure dents throughput, the view change restores it, and every
+    # submitted transaction is eventually served (liveness).
+    assert during < before
+    assert recovery >= before * 0.8
+    assert summary["replicas_that_changed_view"] >= BENCH_CONFIG.failed_shards * 3
+    assert summary["completed_transactions"] == int(
+        BENCH_CONFIG.horizon * BENCH_CONFIG.submit_rate_per_s
+    )

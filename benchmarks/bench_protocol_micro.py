@@ -1,0 +1,100 @@
+"""Protocol-mode micro-benchmarks of the simulator itself.
+
+These are not paper figures: they measure how expensive the message-level
+reproduction is to run (wall-clock per simulated consensus), which is useful
+when sizing protocol-mode experiments, and they compare the per-transaction
+message footprint of the three protocols on identical workloads (the
+mechanism behind the Figure 8 shapes).
+"""
+
+from repro.baselines.ahl.replica import AhlReplica
+from repro.baselines.sharper.replica import SharperReplica
+from repro.cluster import Cluster
+from repro.config import SystemConfig, WorkloadConfig
+from repro.core.replica import RingBftReplica
+from repro.txn.transaction import TransactionBuilder
+
+
+def _workload():
+    return WorkloadConfig(num_records=400, batch_size=1, num_clients=1, seed=7)
+
+
+def _cluster(replica_class, num_shards=3):
+    config = SystemConfig.uniform(num_shards, 4, workload=_workload())
+    return Cluster.build(config, replica_class=replica_class, num_clients=1, batch_size=1, seed=7)
+
+
+def _cross_txn(cluster, txn_id, shards=(0, 1, 2)):
+    builder = TransactionBuilder(txn_id, "client-0")
+    for shard in shards:
+        builder.read_modify_write(shard, cluster.table.local_record(shard, 1), f"{txn_id}@{shard}")
+    return builder.build()
+
+
+def _single_txn(cluster, txn_id, shard=0):
+    return (
+        TransactionBuilder(txn_id, "client-0")
+        .read_modify_write(shard, cluster.table.local_record(shard, 0), "v")
+        .build()
+    )
+
+
+def test_simulated_single_shard_consensus(benchmark):
+    """Wall-clock cost of simulating one single-shard PBFT consensus."""
+
+    def run():
+        cluster = _cluster(RingBftReplica, num_shards=1)
+        cluster.submit(_single_txn(cluster, "micro-single"))
+        assert cluster.run_until_clients_done(timeout=30.0)
+        return cluster.simulator.processed_events
+
+    events = benchmark(run)
+    assert events > 0
+
+
+def test_simulated_cross_shard_consensus(benchmark):
+    """Wall-clock cost of simulating one three-shard RingBFT transaction."""
+
+    def run():
+        cluster = _cluster(RingBftReplica)
+        cluster.submit(_cross_txn(cluster, "micro-cross"))
+        assert cluster.run_until_clients_done(timeout=60.0)
+        return cluster.simulator.processed_events
+
+    events = benchmark(run)
+    assert events > 0
+
+
+def test_cross_shard_message_footprint_comparison(benchmark, show_table):
+    """Messages and bytes each protocol spends on one identical cross-shard transaction."""
+
+    def run():
+        rows = []
+        for name, replica_class in (
+            ("RingBFT", RingBftReplica),
+            ("Sharper", SharperReplica),
+            ("AHL", AhlReplica),
+        ):
+            cluster = _cluster(replica_class)
+            cluster.submit(_cross_txn(cluster, f"fp-{name}"))
+            assert cluster.run_until_clients_done(timeout=120.0)
+            cluster.run(duration=cluster.simulator.now + 5.0)
+            rows.append(
+                {
+                    "protocol": name,
+                    "messages": cluster.total_messages(),
+                    "bytes": sum(r.stats.total_bytes for r in cluster.replicas.values()),
+                    "latency_ms": round(cluster.latencies()[0] * 1000, 1),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    show_table("Per-transaction cross-shard footprint (3 shards x 4 replicas)", rows)
+    footprint = {row["protocol"]: row for row in rows}
+    # RingBFT's linear forwarding needs fewer messages than Sharper's global
+    # all-to-all phases even at this tiny scale (the gap widens with shard
+    # count and replication; bytes are reported for information only -- the
+    # fixed Section 8 message sizes assume batches of 100).
+    assert footprint["RingBFT"]["messages"] < footprint["Sharper"]["messages"]
+    assert footprint["AHL"]["messages"] > 0

@@ -1,0 +1,30 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's tables/figures and prints the
+series it produced (run pytest with ``-s`` to see the tables inline); the
+pytest-benchmark timing measures how long regenerating the figure takes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture
+def show_table():
+    """Print an experiment's rows as an aligned table under a heading."""
+
+    from repro.experiments.runner import format_table
+
+    def _show(title: str, rows: list[dict]) -> None:
+        print(f"\n=== {title} ===")
+        print(format_table(rows))
+
+    return _show

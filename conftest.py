@@ -1,0 +1,13 @@
+"""Ensure the in-tree package is importable when running pytest from the repo root.
+
+The offline environment lacks the ``wheel`` package that ``pip install -e .``
+needs to build a PEP 660 editable wheel, so the test and benchmark suites fall
+back to importing straight from ``src/``.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,65 @@
+"""Real-time demo: the same RingBFT code running on asyncio instead of the simulator.
+
+Every other example drives the deterministic discrete-event simulator.  This
+one runs the identical replica implementations on a real asyncio event loop:
+protocol timers are real timers and WAN delays are real (compressed 50x so
+the demo finishes in a couple of wall-clock seconds).  It is the starting
+point for turning the reproduction into an actually networked deployment.
+
+Run with::
+
+    python examples/realtime_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig, WorkloadConfig
+from repro.rt.runtime import RealTimeCluster
+from repro.txn.transaction import TransactionBuilder
+
+
+def main() -> None:
+    config = SystemConfig.uniform(
+        num_shards=3,
+        replicas_per_shard=4,
+        workload=WorkloadConfig(num_records=300, batch_size=1, num_clients=1),
+    )
+    cluster = RealTimeCluster(config, num_clients=2, time_scale=0.02, latency_scale=0.02)
+    print("real-time deployment: 3 shards x 4 replicas on an asyncio event loop "
+          "(WAN delays compressed 50x)\n")
+
+    transactions = []
+    for i in range(4):
+        transactions.append(
+            TransactionBuilder(f"rt-local-{i}", f"client-{i % 2}")
+            .read_modify_write(i % 3, f"user{10 + 100 * (i % 3)}", f"local-{i}")
+            .build()
+        )
+    transactions.append(
+        TransactionBuilder("rt-global", "client-0")
+        .read_modify_write(0, "user20", "global@0")
+        .read_modify_write(1, "user120", "global@1")
+        .read_modify_write(2, "user220", "global@2")
+        .build()
+    )
+
+    result = cluster.run_workload(transactions, timeout=20.0)
+
+    print(f"submitted            : {result.submitted}")
+    print(f"completed            : {result.completed}")
+    print(f"wall-clock duration  : {result.wall_clock_seconds:.2f}s")
+    print(f"avg protocol latency : {result.avg_latency:.3f}s (at compressed WAN delays)")
+    print(f"throughput           : {result.throughput_tps:.1f} txn/s (wall clock)")
+
+    print("\nmessages exchanged:")
+    for name, count in sorted(cluster.message_counts().items()):
+        print(f"  {name:15s} {count:5d}")
+
+    consistent = all(cluster.ledgers_consistent(shard) for shard in config.shard_ids)
+    print(f"\nledgers consistent across replicas: {consistent}")
+    value = cluster.shard_replicas(2)[0].store.read("user220")
+    print(f"cross-shard write visible on shard 2: {value!r}")
+
+
+if __name__ == "__main__":
+    main()

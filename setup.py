@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``python setup.py develop`` works on environments whose
+setuptools is too old to build PEP 660 editable wheels (the configuration
+itself lives in ``pyproject.toml``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Calibrated analytical performance model used to regenerate paper-scale figures."""
+
+from repro.analytical.costs import CostParameters
+from repro.analytical.model import DeploymentSpec, PerformanceEstimate, estimate
+from repro.analytical.protocols import (
+    AhlModel,
+    HotStuffModel,
+    PbftModel,
+    PoeModel,
+    ProtocolModel,
+    RccModel,
+    RingBftModel,
+    SbftModel,
+    SharperModel,
+    ZyzzyvaModel,
+    model_by_name,
+)
+
+__all__ = [
+    "CostParameters",
+    "DeploymentSpec",
+    "PerformanceEstimate",
+    "estimate",
+    "ProtocolModel",
+    "RingBftModel",
+    "AhlModel",
+    "SharperModel",
+    "PbftModel",
+    "ZyzzyvaModel",
+    "SbftModel",
+    "PoeModel",
+    "HotStuffModel",
+    "RccModel",
+    "model_by_name",
+]

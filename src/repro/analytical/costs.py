@@ -1,0 +1,131 @@
+"""Cost parameters of the analytical performance model.
+
+The paper runs on 16-core GCP N1 machines across fifteen regions; we do not
+have that testbed, so paper-scale figures are regenerated with a calibrated
+pipeline model.  The calibration constants below are chosen so that the
+*anchor point* of the evaluation -- 15 shards of 28 replicas, batches of 100,
+0% cross-shard transactions -- lands near the paper's reported 1.2M txn/s,
+and every other configuration follows from the protocols' message complexity,
+message sizes (taken verbatim from Section 8), and the WAN latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.messages import MESSAGE_SIZES
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Per-node resource model (seconds / bytes) used by every protocol model."""
+
+    #: Effective per-node NIC throughput for intra-region traffic.  The
+    #: ResilientDB pipeline overlaps networking with consensus, so this is the
+    #: *effective* drain rate of a 16-core node, not raw link speed.
+    lan_bandwidth_bps: float = 10.0e9
+    #: Effective per-node WAN egress for cross-region traffic.  Long-haul GCP
+    #: flows sustain far less than local links; nodes that concentrate
+    #: cross-shard traffic (AHL's committee, Sharper's coordinator) are
+    #: limited by this figure, which is the effect Section 8 highlights.
+    wan_bandwidth_bps: float = 0.3e9
+    #: CPU time to enqueue/dequeue + handle one protocol message.
+    per_message_cpu_s: float = 3.5e-6
+    #: Symmetric MAC create/verify cost (intra-shard authentication).
+    mac_cpu_s: float = 1.0e-6
+    #: Digital-signature sign / verify cost (cross-shard authentication).
+    ds_sign_cpu_s: float = 20.0e-6
+    ds_verify_cpu_s: float = 40.0e-6
+    #: Executing one YCSB read-modify-write transaction.
+    execute_cpu_s: float = 2.0e-6
+    #: Fixed consensus-pipeline overhead charged once per batch (queueing,
+    #: batching thread, ledger append).
+    per_batch_overhead_s: float = 50.0e-6
+    #: Extra bytes each remote-read dependency adds to an Execute message and
+    #: the CPU spent resolving it (Figure 10's complex transactions).
+    remote_read_bytes: int = 512
+    remote_read_cpu_s: float = 30.0e-6
+    #: Average one-way WAN delay between two distinct regions (seconds); the
+    #: per-figure code refines this with the actual region list when known.
+    avg_wan_one_way_s: float = 0.055
+    #: Intra-shard (same region) round-trip time.
+    lan_rtt_s: float = 0.0006
+
+    #: Per-transaction payload carried by batch-bearing messages (bytes).  The
+    #: Section 8 sizes are measured at the standard batch size of 100; these
+    #: slopes reproduce them at b=100 and let the batch-size study scale them.
+    batch_payload_per_txn: dict[str, float] = None  # type: ignore[assignment]
+    batch_message_header: int = 300
+
+    def __post_init__(self) -> None:
+        if self.batch_payload_per_txn is None:
+            object.__setattr__(
+                self,
+                "batch_payload_per_txn",
+                {
+                    "PrePrepare": 51.0,
+                    "Forward": 58.5,
+                    "Execute": 14.3,
+                    "Prepare2PC": 51.0,
+                    "CrossPropose": 51.0,
+                },
+            )
+
+    def message_size(self, name: str) -> int:
+        """Wire size of a protocol message type (bytes, from Section 8)."""
+        return MESSAGE_SIZES.get(name, 512)
+
+    def batch_message_size(self, name: str, batch_size: int) -> float:
+        """Wire size of a batch-bearing message for an arbitrary batch size.
+
+        Falls back to the fixed Section 8 size for messages whose size does
+        not depend on the batch (Prepare, Commit, Checkpoint, ...).
+        """
+        per_txn = self.batch_payload_per_txn.get(name)
+        if per_txn is None:
+            return float(self.message_size(name))
+        return self.batch_message_header + per_txn * batch_size
+
+    def transfer_time(self, num_bytes: float, wan: bool) -> float:
+        """Serialisation time of ``num_bytes`` on the LAN or WAN uplink."""
+        bandwidth = self.wan_bandwidth_bps if wan else self.lan_bandwidth_bps
+        return num_bytes * 8.0 / bandwidth
+
+
+@dataclass(frozen=True)
+class NodeWork:
+    """Work performed by one node for one batch: bytes moved and CPU spent."""
+
+    lan_bytes: float = 0.0
+    wan_bytes: float = 0.0
+    cpu_seconds: float = 0.0
+    messages: float = 0.0
+
+    def busy_seconds(self, params: CostParameters) -> float:
+        """Wall-clock seconds the node is busy with this batch (pipelined).
+
+        Network serialisation and CPU work overlap across the ResilientDB
+        thread pipeline, so the node's occupancy is the maximum of the two,
+        plus the fixed per-batch overhead.
+        """
+        network = params.transfer_time(self.lan_bytes, wan=False) + params.transfer_time(
+            self.wan_bytes, wan=True
+        )
+        cpu = self.cpu_seconds + self.messages * params.per_message_cpu_s
+        return max(network, cpu) + params.per_batch_overhead_s
+
+    def plus(self, other: "NodeWork") -> "NodeWork":
+        return NodeWork(
+            lan_bytes=self.lan_bytes + other.lan_bytes,
+            wan_bytes=self.wan_bytes + other.wan_bytes,
+            cpu_seconds=self.cpu_seconds + other.cpu_seconds,
+            messages=self.messages + other.messages,
+        )
+
+    def scaled(self, factor: float) -> "NodeWork":
+        return NodeWork(
+            lan_bytes=self.lan_bytes * factor,
+            wan_bytes=self.wan_bytes * factor,
+            cpu_seconds=self.cpu_seconds * factor,
+            messages=self.messages * factor,
+        )

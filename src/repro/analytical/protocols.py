@@ -1,0 +1,444 @@
+"""Per-protocol cost models.
+
+Each model translates a protocol's message flow into (a) the work its busiest
+node performs per batch and (b) the critical-path latency of one batch, from
+which :func:`repro.analytical.model.estimate` derives throughput and latency
+for any deployment.  The message flows mirror the protocol-mode
+implementations in ``repro.core`` and ``repro.baselines`` -- the unit tests
+check the formulas against message counts observed in the simulator at small
+scale -- and the message sizes are the ones Section 8 reports.
+
+Models for the fully-replicated protocols of Figure 1 (Pbft, Zyzzyva, Sbft,
+PoE, HotStuff, Rcc) treat the whole deployment as one replica group spanning
+all regions, which is how the paper runs them.
+"""
+
+from __future__ import annotations
+
+from repro.analytical.costs import CostParameters, NodeWork
+from repro.analytical.model import DeploymentSpec
+
+
+def _pbft_primary_work(
+    n: int,
+    batch: int,
+    params: CostParameters,
+    *,
+    signed_commits: bool = False,
+    reply_to_clients: bool = True,
+    wan: bool = False,
+) -> NodeWork:
+    """Work of a PBFT primary for one batch in a group of ``n`` replicas.
+
+    ``wan=True`` charges the traffic against the WAN uplink (used by the
+    fully-replicated protocols whose replica group spans regions).
+    """
+    preprepare = params.batch_message_size("PrePrepare", batch)
+    prepare = params.message_size("Prepare")
+    commit = params.message_size("Commit")
+    request = params.message_size("ClientRequest")
+    response = params.message_size("ClientResponse")
+
+    bytes_out = (n - 1) * (preprepare + prepare + commit)
+    bytes_in = batch * request + (n - 1) * (prepare + commit)
+    if reply_to_clients:
+        bytes_out += batch * response
+    messages = 3 * (n - 1) + batch + 2 * (n - 1) + (batch if reply_to_clients else 0)
+    cpu = (6 * (n - 1) + 2 * batch) * params.mac_cpu_s + batch * params.execute_cpu_s
+    if signed_commits:
+        cpu += params.ds_sign_cpu_s + (n - (n - 1) // 3) * params.ds_verify_cpu_s
+    total_bytes = bytes_out + bytes_in
+    if wan:
+        return NodeWork(wan_bytes=total_bytes, cpu_seconds=cpu, messages=messages)
+    return NodeWork(lan_bytes=total_bytes, cpu_seconds=cpu, messages=messages)
+
+
+def _pbft_latency(rtt: float, params: CostParameters, phases: int = 3) -> float:
+    """Critical path of a PBFT instance whose replicas are ``rtt`` apart."""
+    return 0.5 * rtt + phases * rtt + params.per_batch_overhead_s
+
+
+class ProtocolModel:
+    """Interface every protocol cost model implements."""
+
+    name = "abstract"
+
+    def single_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        raise NotImplementedError
+
+    def cross_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        """Work of one involved shard's busiest node for one cross-shard batch."""
+        return self.single_shard_batch_work(spec, params)
+
+    def per_shard_parallelism(self, spec: DeploymentSpec) -> float:
+        """How many batches one shard can drive concurrently (1.0 = one pipeline)."""
+        return 1.0
+
+    def global_limits(self, spec: DeploymentSpec, params: CostParameters) -> dict[str, float]:
+        """Protocol-wide throughput caps (txn/s) beyond the per-shard constraint."""
+        return {}
+
+    def single_shard_latency(self, spec: DeploymentSpec, params: CostParameters) -> float:
+        raise NotImplementedError
+
+    def cross_shard_latency(self, spec: DeploymentSpec, params: CostParameters) -> float:
+        return self.single_shard_latency(spec, params)
+
+
+# ---------------------------------------------------------------------------
+# Sharded protocols: RingBFT, AHL, Sharper
+# ---------------------------------------------------------------------------
+
+
+class RingBftModel(ProtocolModel):
+    """RingBFT: intra-shard PBFT + linear ring forwarding (Sections 4-5)."""
+
+    name = "RingBFT"
+
+    def single_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        return _pbft_primary_work(spec.replicas_per_shard, spec.batch_size, params)
+
+    def cross_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        n = spec.replicas_per_shard
+        nf = n - (n - 1) // 3
+        forward = params.batch_message_size("Forward", spec.batch_size)
+        # Complex transactions ship their accumulated write sets (Sigma) in
+        # the Execute message, so its size grows with the dependency count.
+        execute = (
+            params.batch_message_size("Execute", spec.batch_size)
+            + spec.remote_reads * params.remote_read_bytes
+        )
+        # Local consensus with digitally signed commits (certificate material).
+        work = _pbft_primary_work(
+            n, spec.batch_size, params, signed_commits=True, reply_to_clients=False
+        )
+        # Linear cross-shard step: one Forward + one Execute sent to (and
+        # received from) the counterpart replica of the neighbouring shards,
+        # plus the local sharing broadcast of both messages inside the shard.
+        wan_bytes = 2 * (forward + execute)
+        lan_bytes = 2 * (n - 1) * (forward + execute)
+        messages = 4 + 4 * (n - 1)
+        # Verifying the certificate of nf digital signatures carried by the
+        # incoming Forward message, plus resolving remote-read dependencies.
+        cpu = (
+            nf * params.ds_verify_cpu_s
+            + params.ds_sign_cpu_s
+            + spec.remote_reads * params.remote_read_cpu_s
+        )
+        # The initiator shard answers the client; amortised over involved shards.
+        reply_bytes = spec.batch_size * params.message_size("ClientResponse") / spec.effective_involved
+        return work.plus(
+            NodeWork(
+                lan_bytes=lan_bytes + reply_bytes,
+                wan_bytes=wan_bytes,
+                cpu_seconds=cpu,
+                messages=messages,
+            )
+        )
+
+    def single_shard_latency(self, spec: DeploymentSpec, params: CostParameters) -> float:
+        return _pbft_latency(params.lan_rtt_s, params)
+
+    def cross_shard_latency(self, spec: DeploymentSpec, params: CostParameters) -> float:
+        involved = spec.effective_involved
+        hop = spec.average_ring_hop()
+        local = _pbft_latency(params.lan_rtt_s, params)
+        # Rotation 1: local consensus + one ring hop per involved shard.
+        # Rotation 2: one ring hop + execution/local sharing per involved shard.
+        rotation_one = involved * (local + hop)
+        rotation_two = involved * (hop + params.lan_rtt_s + params.per_batch_overhead_s)
+        return rotation_one + rotation_two
+
+
+class AhlModel(ProtocolModel):
+    """AHL: reference committee ordering plus 2PC with all-to-all phases."""
+
+    name = "AHL"
+
+    def single_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        return _pbft_primary_work(spec.replicas_per_shard, spec.batch_size, params)
+
+    def cross_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        n = spec.replicas_per_shard
+        prepare2pc = params.message_size("Vote2PC")
+        # An involved shard runs a local PBFT instance to decide its vote ...
+        work = _pbft_primary_work(n, spec.batch_size, params, reply_to_clients=False)
+        # ... receives the batch from every committee replica (all-to-all),
+        # votes back to every committee replica, and receives every decision.
+        batch_bytes = params.batch_message_size("Prepare2PC", spec.batch_size)
+        wan_bytes = n * batch_bytes + n * prepare2pc + n * prepare2pc
+        messages = 3 * n
+        cpu = params.ds_sign_cpu_s + params.ds_verify_cpu_s * 2
+        return work.plus(NodeWork(wan_bytes=wan_bytes, cpu_seconds=cpu, messages=messages))
+
+    def _committee_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        """Work of the committee primary for one cross-shard batch."""
+        n = spec.replicas_per_shard
+        involved = spec.effective_involved
+        total_involved_replicas = involved * n
+        # Global ordering consensus inside the committee.
+        work = _pbft_primary_work(n, spec.batch_size, params, reply_to_clients=True, wan=False)
+        # 2PC prepare: the full batch to every replica of every involved shard.
+        wan_bytes = total_involved_replicas * params.batch_message_size(
+            "Prepare2PC", spec.batch_size
+        )
+        # Votes back from every involved replica, decisions out to all of them.
+        wan_bytes += total_involved_replicas * params.message_size("Vote2PC")
+        wan_bytes += total_involved_replicas * params.message_size("Decide2PC")
+        messages = 3 * total_involved_replicas
+        # Decision consensus inside the committee (second PBFT instance).
+        decision = _pbft_primary_work(n, 1, params, reply_to_clients=False)
+        cpu = total_involved_replicas * params.mac_cpu_s
+        return work.plus(decision).plus(
+            NodeWork(wan_bytes=wan_bytes, cpu_seconds=cpu, messages=messages)
+        )
+
+    def global_limits(self, spec: DeploymentSpec, params: CostParameters) -> dict[str, float]:
+        x = spec.cross_shard_fraction
+        if x <= 0 or spec.num_shards <= 1:
+            return {}
+        committee_busy = self._committee_batch_work(spec, params).busy_seconds(params)
+        return {"ahl-reference-committee": spec.batch_size / (x * committee_busy)}
+
+    def single_shard_latency(self, spec: DeploymentSpec, params: CostParameters) -> float:
+        return _pbft_latency(params.lan_rtt_s, params)
+
+    def cross_shard_latency(self, spec: DeploymentSpec, params: CostParameters) -> float:
+        rtt = spec.average_region_rtt()
+        local = _pbft_latency(params.lan_rtt_s, params)
+        # client -> committee ordering -> prepare (WAN) -> shard vote consensus
+        # -> votes back (WAN) -> committee decision -> decide (WAN) -> execute.
+        return local + rtt / 2 + local + rtt / 2 + local + rtt / 2 + params.per_batch_overhead_s
+
+
+class SharperModel(ProtocolModel):
+    """Sharper: initiator-led global consensus with all-to-all cross-shard phases."""
+
+    name = "Sharper"
+
+    def single_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        return _pbft_primary_work(spec.replicas_per_shard, spec.batch_size, params)
+
+    def cross_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        n = spec.replicas_per_shard
+        involved = spec.effective_involved
+        total_involved_replicas = involved * n
+        prepare = params.message_size("Prepare")
+        commit = params.message_size("Commit")
+        # Every replica of every involved shard broadcasts its prepare and
+        # commit votes to every replica of every involved shard.
+        wan_bytes = 2 * total_involved_replicas * (prepare + commit)
+        messages = 4 * total_involved_replicas
+        # The initiator primary additionally sends the full batch everywhere;
+        # shards take turns being the initiator, so amortise by 1/involved.
+        wan_bytes += (
+            total_involved_replicas
+            * params.batch_message_size("CrossPropose", spec.batch_size)
+            / involved
+        )
+        messages += total_involved_replicas / involved
+        cpu = (
+            2 * total_involved_replicas * params.mac_cpu_s
+            + params.ds_sign_cpu_s
+            + params.ds_verify_cpu_s
+            + spec.batch_size * params.execute_cpu_s
+        )
+        reply_bytes = spec.batch_size * params.message_size("ClientResponse") / involved
+        return NodeWork(
+            lan_bytes=reply_bytes, wan_bytes=wan_bytes, cpu_seconds=cpu, messages=messages
+        )
+
+    def single_shard_latency(self, spec: DeploymentSpec, params: CostParameters) -> float:
+        return _pbft_latency(params.lan_rtt_s, params)
+
+    def cross_shard_latency(self, spec: DeploymentSpec, params: CostParameters) -> float:
+        # Two global all-to-all rounds paced by the farthest pair of involved regions.
+        rtt = spec.max_region_rtt()
+        return 0.5 * rtt + 2 * rtt + params.per_batch_overhead_s
+
+
+# ---------------------------------------------------------------------------
+# Fully-replicated protocols (Figure 1)
+# ---------------------------------------------------------------------------
+
+
+class _FullyReplicatedModel(ProtocolModel):
+    """Base for protocols where every replica orders every transaction."""
+
+    def _group_size(self, spec: DeploymentSpec) -> int:
+        return spec.total_replicas
+
+    def global_limits(self, spec: DeploymentSpec, params: CostParameters) -> dict[str, float]:
+        busy = self.single_shard_batch_work(spec, params).busy_seconds(params)
+        return {f"{self.name}-primary": spec.batch_size / busy * self.concurrent_instances(spec)}
+
+    def concurrent_instances(self, spec: DeploymentSpec) -> float:
+        """How many consensus instances proceed concurrently (Rcc overrides)."""
+        return 1.0
+
+    def per_shard_parallelism(self, spec: DeploymentSpec) -> float:
+        # The per-shard constraint is meaningless for a single replica group;
+        # make it non-binding and rely on the explicit global limit.
+        return 1e9
+
+    def single_shard_latency(self, spec: DeploymentSpec, params: CostParameters) -> float:
+        return _pbft_latency(spec.average_region_rtt(), params, phases=self.phases())
+
+    def phases(self) -> int:
+        return 3
+
+
+class PbftModel(_FullyReplicatedModel):
+    """Castro-Liskov PBFT over all replicas (two quadratic phases)."""
+
+    name = "Pbft"
+
+    def single_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        return _pbft_primary_work(self._group_size(spec), spec.batch_size, params, wan=True)
+
+
+class ZyzzyvaModel(_FullyReplicatedModel):
+    """Zyzzyva: speculative single-phase ordering, clients resolve divergence."""
+
+    name = "Zyzzyva"
+
+    def phases(self) -> int:
+        return 1
+
+    def single_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        n = self._group_size(spec)
+        batch = spec.batch_size
+        preprepare = params.batch_message_size("PrePrepare", batch)
+        request = params.message_size("ClientRequest")
+        response = params.message_size("ClientResponse")
+        bytes_total = (n - 1) * preprepare + batch * (request + response)
+        messages = (n - 1) + 2 * batch
+        cpu = (n - 1 + 2 * batch) * params.mac_cpu_s + batch * params.execute_cpu_s
+        return NodeWork(wan_bytes=bytes_total, cpu_seconds=cpu, messages=messages)
+
+
+class SbftModel(_FullyReplicatedModel):
+    """SBFT: collector-based linear communication with threshold signatures."""
+
+    name = "Sbft"
+
+    def phases(self) -> int:
+        return 4
+
+    def single_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        n = self._group_size(spec)
+        batch = spec.batch_size
+        preprepare = params.batch_message_size("PrePrepare", batch)
+        small = params.message_size("Commit")
+        request = params.message_size("ClientRequest")
+        response = params.message_size("ClientResponse")
+        # Primary/collector sends the batch once to each replica and exchanges
+        # two linear rounds of (threshold-signed) votes.
+        bytes_total = (n - 1) * preprepare + 4 * (n - 1) * small + batch * (request + response)
+        messages = 5 * (n - 1) + 2 * batch
+        cpu = (
+            2 * (n - 1) * params.ds_verify_cpu_s / 4  # threshold shares are cheaper to verify
+            + 2 * params.ds_sign_cpu_s
+            + batch * params.execute_cpu_s
+        )
+        return NodeWork(wan_bytes=bytes_total, cpu_seconds=cpu, messages=messages)
+
+
+class PoeModel(_FullyReplicatedModel):
+    """Proof-of-Execution: speculative execution removes one quadratic phase."""
+
+    name = "PoE"
+
+    def phases(self) -> int:
+        return 2
+
+    def single_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        n = self._group_size(spec)
+        batch = spec.batch_size
+        preprepare = params.batch_message_size("PrePrepare", batch)
+        small = params.message_size("Prepare")
+        request = params.message_size("ClientRequest")
+        response = params.message_size("ClientResponse")
+        bytes_total = (n - 1) * (preprepare + 2 * small) + batch * (request + response)
+        messages = 3 * (n - 1) + 2 * batch
+        cpu = (4 * (n - 1) + 2 * batch) * params.mac_cpu_s + batch * params.execute_cpu_s
+        return NodeWork(wan_bytes=bytes_total, cpu_seconds=cpu, messages=messages)
+
+
+class HotStuffModel(_FullyReplicatedModel):
+    """HotStuff: linear leader-based protocol with four phases (higher latency)."""
+
+    name = "HotStuff"
+
+    def phases(self) -> int:
+        return 4
+
+    def single_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        n = self._group_size(spec)
+        batch = spec.batch_size
+        preprepare = params.batch_message_size("PrePrepare", batch)
+        small = params.message_size("Commit")
+        request = params.message_size("ClientRequest")
+        response = params.message_size("ClientResponse")
+        # The leader drives four linear vote rounds and disseminates the batch once.
+        bytes_total = (n - 1) * preprepare + 8 * (n - 1) * small + batch * (request + response)
+        messages = 9 * (n - 1) + 2 * batch
+        cpu = (
+            4 * (n - 1) * params.ds_verify_cpu_s / 4
+            + 4 * params.ds_sign_cpu_s
+            + batch * params.execute_cpu_s
+        )
+        return NodeWork(wan_bytes=bytes_total, cpu_seconds=cpu, messages=messages)
+
+
+class RccModel(_FullyReplicatedModel):
+    """RCC: wait-free concurrent consensus -- every replica acts as a primary."""
+
+    name = "Rcc"
+
+    def concurrent_instances(self, spec: DeploymentSpec) -> float:
+        # All replicas propose concurrently, but each replica must still
+        # process every other instance as a backup, so the speed-up over PBFT
+        # saturates well below N.
+        n = self._group_size(spec)
+        return max(1.0, n / 3.0)
+
+    def single_shard_batch_work(self, spec: DeploymentSpec, params: CostParameters) -> NodeWork:
+        n = self._group_size(spec)
+        primary = _pbft_primary_work(n, spec.batch_size, params, wan=True)
+        # Backup participation in the other concurrent instances of this round.
+        prepare = params.message_size("Prepare")
+        commit = params.message_size("Commit")
+        preprepare = params.batch_message_size("PrePrepare", spec.batch_size)
+        backup_bytes = (n - 1) * (preprepare + 2 * (n - 1) * (prepare + commit) / n)
+        backup_messages = (n - 1) * (1 + 4 * (n - 1) / n)
+        backup = NodeWork(
+            wan_bytes=backup_bytes,
+            cpu_seconds=backup_messages * params.mac_cpu_s,
+            messages=backup_messages,
+        )
+        return primary.plus(backup)
+
+
+_MODELS: dict[str, type[ProtocolModel]] = {
+    model.name.lower(): model
+    for model in (
+        RingBftModel,
+        AhlModel,
+        SharperModel,
+        PbftModel,
+        ZyzzyvaModel,
+        SbftModel,
+        PoeModel,
+        HotStuffModel,
+        RccModel,
+    )
+}
+
+
+def model_by_name(name: str) -> ProtocolModel:
+    """Instantiate a protocol model by its (case-insensitive) paper name."""
+    key = name.lower()
+    if key not in _MODELS:
+        raise KeyError(f"unknown protocol model {name!r}; known: {sorted(_MODELS)}")
+    return _MODELS[key]()

@@ -1,0 +1,6 @@
+"""Baseline sharding BFT protocols the paper evaluates against: AHL and Sharper."""
+
+from repro.baselines.ahl.replica import AhlReplica
+from repro.baselines.sharper.replica import SharperReplica
+
+__all__ = ["AhlReplica", "SharperReplica"]

@@ -1,0 +1,13 @@
+"""AHL baseline: reference-committee ordering plus two-phase commit (Dang et al., SIGMOD 2019)."""
+
+from repro.baselines.ahl.messages import CommitteeDecision, CommitteeVote, Decide2PC, Prepare2PC, Vote2PC
+from repro.baselines.ahl.replica import AhlReplica
+
+__all__ = [
+    "AhlReplica",
+    "Prepare2PC",
+    "Vote2PC",
+    "Decide2PC",
+    "CommitteeVote",
+    "CommitteeDecision",
+]

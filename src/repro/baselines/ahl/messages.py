@@ -1,0 +1,114 @@
+"""Messages of AHL's cross-shard path (reference committee + 2PC).
+
+AHL (Section 2, *Designated Committee*) orders every cross-shard transaction
+through a reference committee, then runs two-phase commit between the
+committee and the involved shards; all of the 2PC phases use all-to-all
+communication between the replicas of each shard and the committee replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.crypto import Signature
+from repro.common.messages import ClientRequest, Message
+
+
+@dataclass(frozen=True)
+class Prepare2PC(Message):
+    """Committee -> involved shards: start local consensus and vote on the batch."""
+
+    requests: tuple[ClientRequest, ...]
+    batch_digest: bytes
+    global_sequence: int
+
+    def wire_size(self) -> int:
+        return 5408  # carries the full batch, like a PrePrepare
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "digest": self.batch_digest.hex(),
+            "gseq": self.global_sequence,
+        }
+
+
+@dataclass(frozen=True)
+class Vote2PC(Message):
+    """Involved shard -> committee: this shard's commit/abort vote for the batch."""
+
+    batch_digest: bytes
+    shard: int
+    commit: bool
+    signature: Signature | None = None
+
+    def wire_size(self) -> int:
+        return 269
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "digest": self.batch_digest.hex(),
+            "shard": self.shard,
+            "commit": self.commit,
+        }
+
+
+@dataclass(frozen=True)
+class CommitteeVote(Message):
+    """Committee-internal agreement vote on the final 2PC decision."""
+
+    batch_digest: bytes
+    commit: bool
+
+    def wire_size(self) -> int:
+        return 216
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "digest": self.batch_digest.hex(),
+            "commit": self.commit,
+        }
+
+
+@dataclass(frozen=True)
+class CommitteeDecision(Message):
+    """Committee-internal broadcast installing the agreed decision."""
+
+    batch_digest: bytes
+    commit: bool
+
+    def wire_size(self) -> int:
+        return 269
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "digest": self.batch_digest.hex(),
+            "commit": self.commit,
+        }
+
+
+@dataclass(frozen=True)
+class Decide2PC(Message):
+    """Committee -> involved shards: the global commit/abort decision."""
+
+    batch_digest: bytes
+    commit: bool
+    signature: Signature | None = None
+
+    def wire_size(self) -> int:
+        return 269
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "digest": self.batch_digest.hex(),
+            "commit": self.commit,
+        }

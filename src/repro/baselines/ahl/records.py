@@ -1,0 +1,43 @@
+"""Per-batch bookkeeping for AHL's reference-committee + 2PC path."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.messages import ClientRequest
+
+
+@dataclass
+class AhlRecord:
+    """What one replica knows about one cross-shard batch under AHL."""
+
+    batch_digest: bytes
+    involved_shards: frozenset[int]
+    requests: tuple[ClientRequest, ...] = ()
+
+    #: Committee-side state.
+    global_sequence: int | None = None
+    prepare_sent: bool = False
+    shard_votes: dict[int, set[str]] = field(default_factory=dict)
+    committee_votes: set[str] = field(default_factory=set)
+    decision_sent: bool = False
+    replied: bool = False
+
+    #: Involved-shard-side state.
+    prepare_senders: set[str] = field(default_factory=set)
+    local_consensus_started: bool = False
+    local_sequence: int | None = None
+    locked: bool = False
+    voted: bool = False
+    decide_senders: set[str] = field(default_factory=set)
+    decided: bool = False
+    executed: bool = False
+
+    def record_shard_vote(self, shard: int, sender: str) -> int:
+        votes = self.shard_votes.setdefault(shard, set())
+        votes.add(sender)
+        return len(votes)
+
+    @property
+    def txn_ids(self) -> tuple[str, ...]:
+        return tuple(req.transaction.txn_id for req in self.requests)

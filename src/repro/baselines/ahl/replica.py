@@ -1,0 +1,288 @@
+"""AHL baseline replica (Dang et al., "Towards Scaling Blockchain Systems via
+Sharding", SIGMOD 2019) as described in Section 2 of the RingBFT paper.
+
+Single-shard transactions run plain PBFT inside their shard, exactly as in
+RingBFT -- the paper makes all three protocols share this path.  Cross-shard
+transactions take the *designated committee* path:
+
+1. the client's transaction is routed to the **reference committee** (here:
+   the shard with the lowest identifier), which orders it globally with PBFT;
+2. the committee starts **two-phase commit**: every committee replica sends a
+   ``Prepare2PC`` to every replica of every involved shard (all-to-all);
+3. each involved shard runs local PBFT to agree on its vote, locks the data,
+   and sends ``Vote2PC`` back to every committee replica;
+4. the committee agrees on the global decision (a propose/vote round among
+   committee replicas standing in for its second PBFT instance) and sends
+   ``Decide2PC`` to every replica of every involved shard;
+5. involved shards execute their fragments and release locks; the committee
+   replies to the client.
+
+The all-to-all communication and the extra committee consensus are exactly
+what the paper blames for AHL's poor cross-shard scalability.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.ahl.messages import CommitteeVote, Decide2PC, Prepare2PC, Vote2PC
+from repro.baselines.ahl.records import AhlRecord
+from repro.common.messages import ClientRequest, batch_digest
+from repro.consensus.pbft.replica import PbftReplica
+
+
+class AhlReplica(PbftReplica):
+    """One replica participating in AHL; committee membership is by shard id."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._records: dict[bytes, AhlRecord] = {}
+
+    # ------------------------------------------------------------------
+    # roles
+    # ------------------------------------------------------------------
+
+    @property
+    def committee_shard(self) -> int:
+        """The shard acting as AHL's reference committee (lowest identifier)."""
+        return min(self.directory.shard_ids())
+
+    @property
+    def is_committee_member(self) -> bool:
+        return self.shard_id == self.committee_shard
+
+    def _record(
+        self,
+        digest: bytes,
+        requests: tuple[ClientRequest, ...] = (),
+        involved: frozenset[int] | None = None,
+    ) -> AhlRecord:
+        record = self._records.get(digest)
+        if record is None:
+            record = AhlRecord(
+                batch_digest=digest,
+                involved_shards=involved or frozenset(),
+                requests=tuple(requests),
+            )
+            self._records[digest] = record
+        if requests and not record.requests:
+            record.requests = tuple(requests)
+        if involved and not record.involved_shards:
+            record.involved_shards = involved
+        return record
+
+    def ahl_record(self, digest: bytes) -> AhlRecord | None:
+        """Accessor used by tests."""
+        return self._records.get(digest)
+
+    # ------------------------------------------------------------------
+    # client request routing
+    # ------------------------------------------------------------------
+
+    def _accepts_client_request(self, request: ClientRequest) -> bool:
+        txn = request.transaction
+        if txn.is_cross_shard:
+            return self.is_committee_member
+        return self.shard_id in txn.involved_shards
+
+    def _redirect_client_request(self, request: ClientRequest) -> None:
+        if not self.is_primary:
+            return
+        txn = request.transaction
+        if txn.is_cross_shard:
+            target = self.committee_shard
+        else:
+            target = next(iter(txn.involved_shards))
+        if target != self.shard_id:
+            self.send(self.directory.primary_of(target, view=0), request)
+
+    # ------------------------------------------------------------------
+    # commit hook: branch on single-shard vs committee vs involved shard
+    # ------------------------------------------------------------------
+
+    def _on_batch_committed(self, view, sequence, digest, batch) -> None:
+        if not batch:
+            return
+        txn = batch[0].transaction
+        if not txn.is_cross_shard:
+            # Single-shard path: sequence-ordered locking, execute, release.
+            self._acquire_locks_then(
+                sequence, digest, batch, lambda: self._execute_local(sequence, digest, batch)
+            )
+            return
+        involved = txn.involved_shards
+        record = self._record(digest, requests=batch, involved=involved)
+        if self.is_committee_member and not record.prepare_sent:
+            # The committee just globally ordered the batch: start 2PC.
+            record.global_sequence = sequence
+            record.prepare_sent = True
+            self._send_prepare_2pc(record, sequence)
+            if self.shard_id in involved:
+                # The committee shard also owns part of the data: vote as well.
+                record.local_sequence = sequence
+                self._acquire_locks_then(
+                    sequence, digest, batch, lambda: self._cast_vote(digest)
+                )
+            self._check_decision(record)
+        elif not self.is_committee_member:
+            # An involved shard finished its local vote consensus.
+            record.local_sequence = sequence
+            self._acquire_locks_then(
+                sequence, digest, batch, lambda: self._cast_vote(digest)
+            )
+
+    def _execute_local(self, sequence: int, digest: bytes, batch) -> None:
+        self._execute_batch(sequence, digest, batch)
+        self.last_executed = max(self.last_executed, sequence)
+        self._release_lock_token(digest.hex())
+
+    # ------------------------------------------------------------------
+    # 2PC: prepare phase
+    # ------------------------------------------------------------------
+
+    def _send_prepare_2pc(self, record: AhlRecord, global_sequence: int) -> None:
+        """Committee -> every replica of every involved shard (all-to-all)."""
+        message = Prepare2PC(
+            sender=self.replica_id,
+            requests=record.requests,
+            batch_digest=record.batch_digest,
+            global_sequence=global_sequence,
+        )
+        for shard in sorted(record.involved_shards):
+            if shard == self.shard_id:
+                continue
+            self.broadcast(list(self.directory.replicas_of(shard)), message)
+
+    def _handle_prepare_2pc(self, message: Prepare2PC) -> None:
+        if batch_digest(message.requests) != message.batch_digest:
+            return
+        involved = message.requests[0].transaction.involved_shards
+        if self.shard_id not in involved:
+            return
+        record = self._record(message.batch_digest, requests=message.requests, involved=involved)
+        record.prepare_senders.add(str(message.sender))
+        committee_weak = self.directory.quorum(self.committee_shard).weak_quorum
+        if len(record.prepare_senders) < committee_weak:
+            return
+        if record.local_consensus_started:
+            return
+        record.local_consensus_started = True
+        if self.is_primary and not self.byzantine_silent:
+            # Start the local vote consensus on the forwarded batch.
+            self._propose(message.requests)
+
+    # ------------------------------------------------------------------
+    # 2PC: vote phase
+    # ------------------------------------------------------------------
+
+    def _cast_vote(self, digest: bytes) -> None:
+        record = self._records.get(digest)
+        if record is None or record.voted:
+            return
+        record.locked = True
+        record.voted = True
+        vote = Vote2PC(
+            sender=self.replica_id,
+            batch_digest=digest,
+            shard=self.shard_id,
+            commit=True,
+        )
+        committee = self.directory.replicas_of(self.committee_shard)
+        self.broadcast(list(committee), vote, include_self=self.is_committee_member)
+        if record.decided:
+            # The global decision raced ahead of our local locking.
+            self._finish_cross_shard(record)
+
+    def _handle_vote_2pc(self, message: Vote2PC) -> None:
+        if not self.is_committee_member:
+            return
+        record = self._record(message.batch_digest)
+        count = record.record_shard_vote(message.shard, str(message.sender))
+        shard_weak = self.directory.quorum(message.shard).weak_quorum
+        if count < shard_weak:
+            return
+        self._check_decision(record)
+
+    def _all_votes_collected(self, record: AhlRecord) -> bool:
+        if not record.involved_shards:
+            return False
+        for shard in record.involved_shards:
+            weak = self.directory.quorum(shard).weak_quorum
+            if len(record.shard_votes.get(shard, set())) < weak:
+                return False
+        return True
+
+    def _check_decision(self, record: AhlRecord) -> None:
+        """Once every involved shard voted, run the committee's decision round."""
+        if not self._all_votes_collected(record) or record.decision_sent:
+            return
+        vote = CommitteeVote(sender=self.replica_id, batch_digest=record.batch_digest, commit=True)
+        self.broadcast(list(self.directory.replicas_of(self.committee_shard)), vote, include_self=True)
+
+    def _handle_committee_vote(self, message: CommitteeVote) -> None:
+        if not self.is_committee_member:
+            return
+        record = self._record(message.batch_digest)
+        record.committee_votes.add(str(message.sender))
+        if record.decision_sent:
+            return
+        if len(record.committee_votes) < self.quorum.commit_quorum:
+            return
+        record.decision_sent = True
+        self._send_decision(record)
+
+    # ------------------------------------------------------------------
+    # 2PC: decide phase
+    # ------------------------------------------------------------------
+
+    def _send_decision(self, record: AhlRecord) -> None:
+        decision = Decide2PC(sender=self.replica_id, batch_digest=record.batch_digest, commit=True)
+        for shard in sorted(record.involved_shards):
+            self.broadcast(
+                list(self.directory.replicas_of(shard)),
+                decision,
+                include_self=(shard == self.shard_id),
+            )
+        if not record.replied:
+            record.replied = True
+            for request in record.requests:
+                self._reply_to_client(request, record.global_sequence or 0)
+
+    def _handle_decide_2pc(self, message: Decide2PC) -> None:
+        record = self._records.get(message.batch_digest)
+        if record is None:
+            return
+        record.decide_senders.add(str(message.sender))
+        committee_weak = self.directory.quorum(self.committee_shard).weak_quorum
+        if len(record.decide_senders) < committee_weak or record.decided:
+            return
+        record.decided = True
+        self._finish_cross_shard(record)
+
+    def _finish_cross_shard(self, record: AhlRecord) -> None:
+        """Execute the local fragment and release its locks after the global decision."""
+        if record.executed or self.shard_id not in record.involved_shards:
+            return
+        if not record.locked or record.local_sequence is None:
+            # Decision arrived before the local vote consensus finished; it
+            # will be finished when the vote path completes.
+            return
+        transactions = [req.transaction for req in record.requests]
+        self.executor.execute_batch(transactions)
+        self.executed_txn_count += len(transactions)
+        self.last_executed = max(self.last_executed, record.local_sequence)
+        record.executed = True
+        self._release_lock_token(record.batch_digest.hex())
+        self._maybe_checkpoint(record.local_sequence, tuple(transactions))
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _handle_protocol_message(self, message) -> None:
+        if isinstance(message, Prepare2PC):
+            self._handle_prepare_2pc(message)
+        elif isinstance(message, Vote2PC):
+            self._handle_vote_2pc(message)
+        elif isinstance(message, CommitteeVote):
+            self._handle_committee_vote(message)
+        elif isinstance(message, Decide2PC):
+            self._handle_decide_2pc(message)

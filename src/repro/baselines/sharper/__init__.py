@@ -1,0 +1,6 @@
+"""Sharper baseline: initiator-shard cross-shard consensus with global all-to-all phases."""
+
+from repro.baselines.sharper.messages import CrossCommit, CrossPrepare, CrossPropose
+from repro.baselines.sharper.replica import SharperReplica
+
+__all__ = ["SharperReplica", "CrossPropose", "CrossPrepare", "CrossCommit"]

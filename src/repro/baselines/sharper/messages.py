@@ -1,0 +1,72 @@
+"""Messages of Sharper's cross-shard consensus (Amiri et al., 2019).
+
+Sharper routes each cross-shard transaction through the primary of one
+involved shard (the *initiator*), which proposes it to every replica of every
+involved shard; the prepare and commit phases are then exchanged all-to-all
+among the replicas of all involved shards -- the global quadratic
+communication the RingBFT paper identifies as Sharper's bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.messages import ClientRequest, Message
+
+
+@dataclass(frozen=True)
+class CrossPropose(Message):
+    """Initiator primary -> all replicas of all involved shards: global proposal."""
+
+    requests: tuple[ClientRequest, ...]
+    batch_digest: bytes
+    global_sequence: int
+
+    def wire_size(self) -> int:
+        return 5408
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "digest": self.batch_digest.hex(),
+            "gseq": self.global_sequence,
+        }
+
+
+@dataclass(frozen=True)
+class CrossPrepare(Message):
+    """Global prepare vote broadcast to every replica of every involved shard."""
+
+    batch_digest: bytes
+    shard: int
+
+    def wire_size(self) -> int:
+        return 216
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "digest": self.batch_digest.hex(),
+            "shard": self.shard,
+        }
+
+
+@dataclass(frozen=True)
+class CrossCommit(Message):
+    """Global commit vote broadcast to every replica of every involved shard."""
+
+    batch_digest: bytes
+    shard: int
+
+    def wire_size(self) -> int:
+        return 269
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "digest": self.batch_digest.hex(),
+            "shard": self.shard,
+        }

@@ -1,0 +1,130 @@
+"""Command-line interface.
+
+Examples::
+
+    # List the experiments that regenerate the paper's figures.
+    ringbft list
+
+    # Regenerate one figure and print its table.
+    ringbft run figure8-shards
+
+    # Run a small end-to-end protocol demo in the simulator.
+    ringbft demo --shards 3 --replicas 4 --transactions 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import Cluster
+from repro.config import SystemConfig, WorkloadConfig
+from repro.core.replica import RingBftReplica
+from repro.baselines.ahl.replica import AhlReplica
+from repro.baselines.sharper.replica import SharperReplica
+from repro.experiments.runner import EXPERIMENTS, format_table, run_experiment
+from repro.metrics.collector import summarize
+from repro.workloads.clients import ClosedLoopDriver
+from repro.workloads.ycsb import YcsbWorkloadGenerator
+
+_PROTOCOLS = {
+    "ringbft": RingBftReplica,
+    "ahl": AhlReplica,
+    "sharper": SharperReplica,
+}
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name in sorted(EXPERIMENTS):
+        print(name)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    rows = run_experiment(args.experiment)
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from repro.metrics.plotting import figure_chart
+
+    rows = run_experiment(args.experiment)
+    print(figure_chart(args.experiment, rows))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    workload = WorkloadConfig(
+        num_records=1_000,
+        cross_shard_fraction=args.cross_shard,
+        batch_size=1,
+        num_clients=args.clients,
+        seed=args.seed,
+    )
+    config = SystemConfig.uniform(args.shards, args.replicas, workload=workload)
+    cluster = Cluster.build(
+        config,
+        replica_class=_PROTOCOLS[args.protocol],
+        num_clients=args.clients,
+        batch_size=1,
+        seed=args.seed,
+    )
+    generator = YcsbWorkloadGenerator(cluster.table, cluster.directory.ring, workload, seed=args.seed)
+    driver = ClosedLoopDriver(cluster, generator, total=args.transactions, window=2)
+    completed = driver.run(timeout=300.0)
+    records = []
+    for client in cluster.clients.values():
+        records.extend(client.completed)
+    summary = summarize(records)
+    print(f"protocol            : {args.protocol}")
+    print(f"shards x replicas   : {args.shards} x {args.replicas}")
+    print(f"completed           : {completed}/{args.transactions}")
+    print(f"simulated duration  : {summary.duration:.3f}s")
+    print(f"throughput          : {summary.throughput:.1f} txn/s (simulated)")
+    print(f"average latency     : {summary.avg_latency * 1000:.1f} ms")
+    print(f"messages exchanged  : {cluster.total_messages()}")
+    consistent = all(cluster.ledgers_consistent(s) for s in config.shard_ids)
+    print(f"ledgers consistent  : {consistent}")
+    return 0 if completed == args.transactions and consistent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ringbft",
+        description="RingBFT reproduction: experiments, figures, and protocol demos.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one experiment and print its table")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.set_defaults(func=_cmd_run)
+
+    plot_parser = sub.add_parser("plot", help="run one experiment and render ASCII charts")
+    plot_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    plot_parser.set_defaults(func=_cmd_plot)
+
+    demo_parser = sub.add_parser("demo", help="run a protocol-mode demo in the simulator")
+    demo_parser.add_argument("--protocol", choices=sorted(_PROTOCOLS), default="ringbft")
+    demo_parser.add_argument("--shards", type=int, default=3)
+    demo_parser.add_argument("--replicas", type=int, default=4)
+    demo_parser.add_argument("--clients", type=int, default=2)
+    demo_parser.add_argument("--transactions", type=int, default=20)
+    demo_parser.add_argument("--cross-shard", type=float, default=0.3)
+    demo_parser.add_argument("--seed", type=int, default=2022)
+    demo_parser.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

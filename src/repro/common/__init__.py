@@ -1,0 +1,13 @@
+"""Shared substrates: identifiers, cryptography, Merkle trees, quorums, messages."""
+
+from repro.common.types import ClientId, ReplicaId, ShardId, SeqNum, ViewNum
+from repro.common.quorum import QuorumSpec
+
+__all__ = [
+    "ClientId",
+    "ReplicaId",
+    "ShardId",
+    "SeqNum",
+    "ViewNum",
+    "QuorumSpec",
+]

@@ -1,0 +1,48 @@
+"""Request batching (Section 7, *Blockchain*; Section 8, batch-size study).
+
+Primaries aggregate client requests into batches and run one consensus per
+batch.  The paper requires every request in a batch to access the *same set of
+shards*, so a cross-shard batch travels the ring as a single unit and the
+resulting block is appended to the ledger of every involved shard.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.common.messages import ClientRequest
+
+
+@dataclass
+class Batcher:
+    """Groups incoming client requests by involved-shard set.
+
+    ``batch_size`` requests with identical involved-shard sets form one batch.
+    ``flush`` force-closes partially filled groups (used at the end of a
+    simulation or when a batching timer fires).
+    """
+
+    batch_size: int
+    _groups: "OrderedDict[frozenset[int], list[ClientRequest]]" = field(default_factory=OrderedDict)
+
+    def add(self, request: ClientRequest) -> list[ClientRequest] | None:
+        """Add a request; return a full batch if one just completed, else ``None``."""
+        key = request.transaction.involved_shards
+        group = self._groups.setdefault(key, [])
+        group.append(request)
+        if len(group) >= self.batch_size:
+            del self._groups[key]
+            return group
+        return None
+
+    def flush(self) -> list[list[ClientRequest]]:
+        """Close and return every partially filled batch."""
+        batches = [group for group in self._groups.values() if group]
+        self._groups.clear()
+        return batches
+
+    @property
+    def pending(self) -> int:
+        """Number of requests currently waiting for their batch to fill."""
+        return sum(len(group) for group in self._groups.values())

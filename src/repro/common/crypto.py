@@ -1,0 +1,162 @@
+"""Authenticated-communication substrate.
+
+The paper (Section 3, *Authenticated Communication*) uses two primitives:
+
+* **MACs** for intra-shard messages: cheap, symmetric, no non-repudiation.
+* **Digital signatures (DS)** for cross-shard messages: asymmetric,
+  non-repudiable -- a receiver can prove to a third party who signed.
+
+Running real public-key cryptography adds nothing to a protocol-level
+reproduction, so this module implements both primitives on top of
+HMAC-SHA256 while preserving the *semantics* the protocol relies on:
+
+* A MAC can only be produced and verified by the two endpoints that share the
+  pairwise secret (``MacAuthenticator``).
+* A signature can only be produced by the holder of the signing key, but can
+  be verified by *anyone* holding the public registry (``SignatureScheme``),
+  which is exactly the non-repudiation property Forward certificates need.
+
+Byzantine replicas in the simulator never receive other replicas' keys, so
+impersonation is impossible by construction, matching the system model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+from repro.errors import CryptoError
+
+DIGEST_SIZE = 32
+
+
+def sha256(data: bytes) -> bytes:
+    """Collision-resistant digest ``H(v)`` used throughout the protocol."""
+    return hashlib.sha256(data).digest()
+
+
+def digest_hex(data: bytes) -> str:
+    """Hex form of :func:`sha256`, convenient for logging and block hashes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A digital signature over a message digest.
+
+    ``signer`` identifies the signing entity (replica or client name); the
+    ``value`` is the raw signature bytes.  Signatures are compared by value,
+    so they can be collected into sets when building commit certificates.
+    """
+
+    signer: str
+    value: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.value) != DIGEST_SIZE:
+            raise CryptoError(f"signature must be {DIGEST_SIZE} bytes, got {len(self.value)}")
+
+
+class KeyStore:
+    """Holds per-entity secrets for the whole deployment.
+
+    A single ``KeyStore`` is created when a cluster is built; it hands each
+    replica its own private signing key and the pairwise MAC secrets it needs.
+    Only the key material handed out is available to a node, so a Byzantine
+    node cannot forge messages from others.
+    """
+
+    def __init__(self, seed: bytes = b"ringbft-repro") -> None:
+        self._seed = seed
+
+    def signing_key(self, entity: str) -> bytes:
+        """Private signing key for ``entity``; only given to that entity."""
+        return hmac.new(self._seed, b"sign|" + entity.encode(), hashlib.sha256).digest()
+
+    def mac_key(self, a: str, b: str) -> bytes:
+        """Pairwise MAC secret shared by entities ``a`` and ``b``."""
+        lo, hi = sorted((a, b))
+        return hmac.new(self._seed, b"mac|" + lo.encode() + b"|" + hi.encode(), hashlib.sha256).digest()
+
+
+class SignatureScheme:
+    """Digital-signature emulation with a public verification registry.
+
+    ``sign`` requires the signer's private key (obtained from the
+    :class:`KeyStore`); ``verify`` only needs the signer's *name* because the
+    registry re-derives the verification tag, mirroring how anyone holding a
+    public key can verify an Ed25519 signature.
+    """
+
+    def __init__(self, keystore: KeyStore) -> None:
+        self._keystore = keystore
+
+    def sign(self, entity: str, payload: bytes, private_key: bytes | None = None) -> Signature:
+        """Sign ``payload`` as ``entity``.
+
+        ``private_key`` may be passed explicitly (the normal path for replica
+        code that was handed its key at start-up); when omitted the keystore
+        is consulted directly, which is convenient in tests.
+        """
+        key = private_key if private_key is not None else self._keystore.signing_key(entity)
+        expected = self._keystore.signing_key(entity)
+        if not hmac.compare_digest(key, expected):
+            raise CryptoError(f"entity {entity!r} presented a key it does not own")
+        value = hmac.new(key, payload, hashlib.sha256).digest()
+        return Signature(signer=entity, value=value)
+
+    def verify(self, signature: Signature, payload: bytes) -> bool:
+        """Return ``True`` iff ``signature`` is a valid signature on ``payload``."""
+        key = self._keystore.signing_key(signature.signer)
+        expected = hmac.new(key, payload, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature.value)
+
+    def require_valid(self, signature: Signature, payload: bytes) -> None:
+        """Raise :class:`CryptoError` unless the signature verifies."""
+        if not self.verify(signature, payload):
+            raise CryptoError(f"invalid signature from {signature.signer!r}")
+
+
+@dataclass
+class MacAuthenticator:
+    """Pairwise MAC authentication for intra-shard traffic.
+
+    An authenticator is owned by one endpoint (``owner``) and caches the
+    pairwise secrets that endpoint shares with its peers.
+    """
+
+    owner: str
+    keystore: KeyStore
+    _cache: dict[str, bytes] = field(default_factory=dict)
+
+    def _key_for(self, peer: str) -> bytes:
+        if peer not in self._cache:
+            self._cache[peer] = self.keystore.mac_key(self.owner, peer)
+        return self._cache[peer]
+
+    def tag(self, peer: str, payload: bytes) -> bytes:
+        """MAC tag authenticating ``payload`` for the channel owner -> peer."""
+        return hmac.new(self._key_for(peer), payload, hashlib.sha256).digest()
+
+    def verify(self, peer: str, payload: bytes, tag: bytes) -> bool:
+        """Verify a MAC tag received from ``peer``."""
+        expected = hmac.new(self._key_for(peer), payload, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, tag)
+
+
+def verify_certificate(
+    scheme: SignatureScheme,
+    payload: bytes,
+    signatures: tuple[Signature, ...] | list[Signature],
+    required: int,
+) -> bool:
+    """Check a certificate of signatures over a common payload.
+
+    A certificate is valid when at least ``required`` signatures from
+    *distinct* signers verify over ``payload``.  Used by replicas receiving a
+    ``Forward`` message to check that the previous shard really committed the
+    transaction (Figure 5, line 31).
+    """
+    valid_signers = {sig.signer for sig in signatures if scheme.verify(sig, payload)}
+    return len(valid_signers) >= required

@@ -1,0 +1,98 @@
+"""Merkle tree used to compute per-block transaction roots (Section 7).
+
+Each block in a shard's partial blockchain stores either the full batch of
+transactions or only their Merkle root; the root is computed by pair-wise
+hashing leaf digests up to a single root.  Inclusion proofs allow light
+verification that a transaction belongs to a committed block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.crypto import sha256
+from repro.errors import LedgerError
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _hash_leaf(data: bytes) -> bytes:
+    return sha256(_LEAF_PREFIX + data)
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return sha256(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf.
+
+    ``path`` holds ``(sibling_digest, sibling_is_right)`` pairs from the leaf
+    up to the root.
+    """
+
+    leaf_index: int
+    path: tuple[tuple[bytes, bool], ...]
+
+
+class MerkleTree:
+    """A static Merkle tree over an ordered list of byte-string leaves.
+
+    Odd nodes at any level are promoted unchanged (Bitcoin-style duplication
+    is avoided so that a single-leaf tree has root == hash(leaf)).
+    """
+
+    def __init__(self, leaves: list[bytes] | tuple[bytes, ...]) -> None:
+        if not leaves:
+            raise LedgerError("cannot build a Merkle tree over zero leaves")
+        self._leaves = [bytes(leaf) for leaf in leaves]
+        self._levels: list[list[bytes]] = [[_hash_leaf(leaf) for leaf in self._leaves]]
+        while len(self._levels[-1]) > 1:
+            current = self._levels[-1]
+            nxt: list[bytes] = []
+            for i in range(0, len(current), 2):
+                if i + 1 < len(current):
+                    nxt.append(_hash_node(current[i], current[i + 1]))
+                else:
+                    nxt.append(current[i])
+            self._levels.append(nxt)
+
+    @property
+    def root(self) -> bytes:
+        """The Merkle root digest of the tree."""
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaves)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise LedgerError(f"leaf index {index} out of range [0, {len(self._leaves)})")
+        path: list[tuple[bytes, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling = position ^ 1
+            if sibling < len(level):
+                path.append((level[sibling], sibling > position))
+            position //= 2
+        return MerkleProof(leaf_index=index, path=tuple(path))
+
+    @staticmethod
+    def verify_proof(leaf: bytes, proof: MerkleProof, root: bytes) -> bool:
+        """Check that ``leaf`` is included under ``root`` via ``proof``."""
+        digest = _hash_leaf(leaf)
+        for sibling, sibling_is_right in proof.path:
+            if sibling_is_right:
+                digest = _hash_node(digest, sibling)
+            else:
+                digest = _hash_node(sibling, digest)
+        return digest == root
+
+
+def merkle_root(leaves: list[bytes] | tuple[bytes, ...]) -> bytes:
+    """Convenience helper returning only the root of a leaf list."""
+    return MerkleTree(leaves).root

@@ -1,0 +1,476 @@
+"""Protocol messages exchanged by clients and replicas.
+
+The message set follows Figure 5 (normal case), Figure 6 (remote view
+change), and the PBFT view-change sub-protocol the paper reuses.  Each
+message knows its *wire size* in bytes; the per-type sizes come straight from
+Section 8 ("The sizes of messages communicated during RingBFT consensus
+are ...") and feed the analytical performance model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.crypto import Signature, sha256
+from repro.common.types import ReplicaId
+from repro.txn.transaction import Transaction
+
+#: Wire sizes (bytes) reported in Section 8 of the paper.  Messages not listed
+#: there use reasonable estimates consistent with those numbers.
+MESSAGE_SIZES: dict[str, int] = {
+    "ClientRequest": 512,
+    "PrePrepare": 5408,
+    "Prepare": 216,
+    "Commit": 269,
+    "Forward": 6147,
+    "Execute": 1732,
+    "Checkpoint": 164,
+    "ClientResponse": 256,
+    "ViewChange": 1024,
+    "NewView": 2048,
+    "RemoteView": 300,
+    "Vote2PC": 269,
+    "Decide2PC": 269,
+    "CrossPropose": 5408,
+    "CrossAccept": 269,
+}
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for every protocol message.
+
+    ``sender`` is the authenticated origin; messages carried inside other
+    messages (certificates) keep their own signatures.
+    """
+
+    sender: Any
+
+    @property
+    def type_name(self) -> str:
+        return type(self).__name__
+
+    def wire_size(self) -> int:
+        """Size in bytes used by the network model and the analytical model."""
+        return MESSAGE_SIZES.get(self.type_name, 512)
+
+    def payload_bytes(self) -> bytes:
+        """Canonical byte representation used for MACs/signatures."""
+        return json.dumps(self._payload_fields(), sort_keys=True, default=str).encode()
+
+    def _payload_fields(self) -> dict:
+        return {"type": self.type_name, "sender": str(self.sender)}
+
+    def digest(self) -> bytes:
+        return sha256(self.payload_bytes())
+
+
+# ---------------------------------------------------------------------------
+# Client traffic
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ClientRequest(Message):
+    """``<T_I>_c`` -- a client-signed transaction submitted to a primary."""
+
+    transaction: Transaction
+    signature: Signature | None = None
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "txn": self.transaction.to_wire(),
+        }
+
+
+@dataclass(frozen=True)
+class ClientResponse(Message):
+    """Response(T, k, r) returned to the client by f+1 replicas."""
+
+    txn_id: str
+    sequence: int
+    result: dict[str, str]
+    shard: int
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "txn_id": self.txn_id,
+            "sequence": self.sequence,
+            "result": self.result,
+            "shard": self.shard,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Intra-shard PBFT phases
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrePrepare(Message):
+    """Primary's proposal ordering a batch of requests at sequence ``sequence``."""
+
+    view: int
+    sequence: int
+    batch_digest: bytes
+    requests: tuple[ClientRequest, ...]
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.batch_digest.hex(),
+        }
+
+
+@dataclass(frozen=True)
+class Prepare(Message):
+    """Backup's agreement to support the primary's ``sequence``-th proposal."""
+
+    view: int
+    sequence: int
+    batch_digest: bytes
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.batch_digest.hex(),
+        }
+
+
+@dataclass(frozen=True)
+class Commit(Message):
+    """Commit vote; for cross-shard batches it is digitally signed so the
+    signatures can later prove replication to the next shard."""
+
+    view: int
+    sequence: int
+    batch_digest: bytes
+    signature: Signature | None = None
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "view": self.view,
+            "sequence": self.sequence,
+            "digest": self.batch_digest.hex(),
+        }
+
+    def signed_payload(self) -> bytes:
+        """The byte string replicas sign: excludes the signature itself."""
+        return json.dumps(
+            {
+                "type": self.type_name,
+                "view": self.view,
+                "sequence": self.sequence,
+                "digest": self.batch_digest.hex(),
+            },
+            sort_keys=True,
+        ).encode()
+
+
+@dataclass(frozen=True)
+class CommitCertificate:
+    """``nf`` distinct signed Commit messages proving a batch was replicated.
+
+    This is the set ``A`` of Figure 5 line 16, attached to ``Forward``
+    messages so the next shard can verify the previous shard's consensus.
+    """
+
+    shard: int
+    view: int
+    sequence: int
+    batch_digest: bytes
+    signatures: tuple[Signature, ...]
+
+    def signed_payload(self) -> bytes:
+        return json.dumps(
+            {
+                "type": "Commit",
+                "view": self.view,
+                "sequence": self.sequence,
+                "digest": self.batch_digest.hex(),
+            },
+            sort_keys=True,
+        ).encode()
+
+    @property
+    def distinct_signers(self) -> int:
+        return len({sig.signer for sig in self.signatures})
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard messages (RingBFT)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Forward(Message):
+    """Forward(<T_I>_c, A, m, Delta) -- sent replica-to-replica to the next shard.
+
+    Carries the cross-shard batch (the client-signed requests), the commit
+    certificate ``A`` proving the previous shard replicated it, the batch
+    digest ``Delta`` used as the cross-shard identity of the batch, and -- for
+    complex transactions -- the read/write sets accumulated so far along the
+    ring (Section 8.8: "requiring each shard to send its read-write sets along
+    with the Forward message").
+    """
+
+    requests: tuple[ClientRequest, ...]
+    certificate: CommitCertificate
+    batch_digest: bytes
+    origin_shard: int
+    read_sets: dict[int, dict[str, str]] = field(default_factory=dict)
+    signature: Signature | None = None
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "txns": [req.transaction.txn_id for req in self.requests],
+            "digest": self.batch_digest.hex(),
+            "origin_shard": self.origin_shard,
+            "reads": {str(k): dict(v) for k, v in sorted(self.read_sets.items())},
+        }
+
+
+@dataclass(frozen=True)
+class Execute(Message):
+    """Execute(Delta, Sigma_I) -- second-rotation message carrying write sets.
+
+    ``write_sets`` maps shard id -> {key -> committed value} and accumulates
+    as the message travels the ring, resolving cross-shard dependencies of
+    complex transactions.
+    """
+
+    batch_digest: bytes
+    txn_ids: tuple[str, ...]
+    write_sets: dict[int, dict[str, str]]
+    origin_shard: int
+    signature: Signature | None = None
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "txn_ids": list(self.txn_ids),
+            "digest": self.batch_digest.hex(),
+            "origin_shard": self.origin_shard,
+            "writes": {str(k): dict(v) for k, v in sorted(self.write_sets.items())},
+        }
+
+
+@dataclass(frozen=True)
+class RemoteView(Message):
+    """RemoteView(<T_I>_c, Delta) -- asks the previous shard to view-change (Figure 6)."""
+
+    batch_digest: bytes
+    target_shard: int
+    signature: Signature | None = None
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "digest": self.batch_digest.hex(),
+            "target_shard": self.target_shard,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing and view changes (PBFT recovery machinery)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Checkpoint(Message):
+    """Periodic state digest allowing log truncation and dark-replica catch-up."""
+
+    sequence: int
+    state_digest: bytes
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "sequence": self.sequence,
+            "digest": self.state_digest.hex(),
+        }
+
+
+@dataclass(frozen=True)
+class PreparedProof:
+    """Evidence that a request was prepared: the PrePrepare plus nf Prepare votes.
+
+    ``requests`` carries the prepared batch itself so that a new primary that
+    never stored the batch can still re-propose it in the new view.
+    """
+
+    sequence: int
+    view: int
+    batch_digest: bytes
+    prepares: int
+    requests: tuple[ClientRequest, ...] = ()
+
+
+@dataclass(frozen=True)
+class ViewChange(Message):
+    """ViewChange vote asking to install ``new_view`` in the sender's shard."""
+
+    new_view: int
+    last_stable_sequence: int
+    prepared: tuple[PreparedProof, ...] = ()
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "new_view": self.new_view,
+            "stable": self.last_stable_sequence,
+            "prepared": [p.sequence for p in self.prepared],
+        }
+
+
+@dataclass(frozen=True)
+class NewView(Message):
+    """New primary's announcement installing ``view`` with re-proposed requests.
+
+    ``abandoned`` lists sequence numbers the new primary could not find a
+    prepared certificate for; replicas treat them as no-ops so that in-order
+    execution and sequence-ordered locking do not stall on the gap (the
+    classic PBFT null-request fill).
+    """
+
+    view: int
+    view_change_senders: tuple[str, ...]
+    reproposals: tuple[PrePrepare, ...] = ()
+    abandoned: tuple[int, ...] = ()
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "view": self.view,
+            "vc": list(self.view_change_senders),
+            "abandoned": list(self.abandoned),
+        }
+
+
+# ---------------------------------------------------------------------------
+# State transfer (dark-replica catch-up)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StateTransferRequest(Message):
+    """Request from a lagging replica asking peers for their current state.
+
+    A replica that observes stable checkpoints far beyond its own execution
+    point (it was kept in the dark by a malicious primary, or it crashed and
+    recovered) asks its shard peers for a state snapshot instead of replaying
+    every missed batch.
+    """
+
+    last_executed: int
+
+    def wire_size(self) -> int:
+        return 128
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "last_executed": self.last_executed,
+        }
+
+
+@dataclass(frozen=True)
+class StateTransferReply(Message):
+    """A peer's state snapshot: store contents, ledger blocks, execution point.
+
+    The requester installs a snapshot only after ``f + 1`` replies agree on
+    the state digest, so a single Byzantine peer cannot poison its state.
+    """
+
+    last_executed: int
+    state_digest: bytes
+    store_snapshot: dict[str, str]
+    executed_txn_ids: tuple[str, ...]
+    blocks: tuple = ()
+
+    def wire_size(self) -> int:
+        # Dominated by the snapshot; approximate with one KV pair ~ 64 bytes.
+        return 512 + 64 * len(self.store_snapshot)
+
+    def _payload_fields(self) -> dict:
+        return {
+            "type": self.type_name,
+            "sender": str(self.sender),
+            "last_executed": self.last_executed,
+            "digest": self.state_digest.hex(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def batch_digest(requests: tuple[ClientRequest, ...] | list[ClientRequest]) -> bytes:
+    """Digest of a batch of client requests (the ``Delta`` of Figure 5)."""
+    parts = b"".join(req.transaction.digest() for req in requests)
+    return sha256(parts)
+
+
+@dataclass
+class MessageStats:
+    """Running tally of messages and bytes, grouped by message type.
+
+    The simulator attaches one of these to every replica; unit tests use it to
+    validate the analytical model's message-count formulas against the real
+    protocol implementation.
+    """
+
+    sent_count: dict[str, int] = field(default_factory=dict)
+    sent_bytes: dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        name = message.type_name
+        self.sent_count[name] = self.sent_count.get(name, 0) + 1
+        self.sent_bytes[name] = self.sent_bytes.get(name, 0) + message.wire_size()
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.sent_count.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.sent_bytes.values())
+
+    def merged_with(self, other: "MessageStats") -> "MessageStats":
+        merged = MessageStats()
+        for stats in (self, other):
+            for name, count in stats.sent_count.items():
+                merged.sent_count[name] = merged.sent_count.get(name, 0) + count
+            for name, nbytes in stats.sent_bytes.items():
+                merged.sent_bytes[name] = merged.sent_bytes.get(name, 0) + nbytes
+        return merged
+
+
+def sender_replica(message: Message) -> ReplicaId:
+    """Typed accessor for messages whose sender is a replica."""
+    if not isinstance(message.sender, ReplicaId):
+        raise TypeError(f"message {message.type_name} was not sent by a replica")
+    return message.sender

@@ -1,0 +1,71 @@
+"""Quorum arithmetic for the sharded fault model (Section 3).
+
+Each shard tolerates ``f`` Byzantine replicas out of ``n >= 3f + 1``.  The
+protocol phases rely on three thresholds:
+
+* ``nf = n - f`` identical Prepare/Commit messages prove a majority of
+  non-faulty replicas support a proposal (quorum intersection argument of
+  Proposition 6.1);
+* ``f + 1`` identical messages prove at least one non-faulty replica sent the
+  message (used for client responses, Forward acceptance, RemoteView);
+* ``2f + 1`` appears in classic PBFT formulations; with ``n = 3f + 1`` it is
+  the same as ``nf`` and the code always goes through ``nf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuorumError
+
+
+def max_faulty(n: int) -> int:
+    """Largest ``f`` a shard of ``n`` replicas can tolerate (``n >= 3f + 1``)."""
+    if n < 1:
+        raise QuorumError(f"a shard needs at least one replica, got {n}")
+    return (n - 1) // 3
+
+
+@dataclass(frozen=True)
+class QuorumSpec:
+    """Quorum thresholds for one shard of ``n`` replicas tolerating ``f`` faults."""
+
+    n: int
+    f: int
+
+    def __post_init__(self) -> None:
+        if self.n < 3 * self.f + 1:
+            raise QuorumError(
+                f"n={self.n} cannot tolerate f={self.f} Byzantine replicas (need n >= 3f + 1)"
+            )
+        if self.f < 0:
+            raise QuorumError("f cannot be negative")
+
+    @classmethod
+    def for_replicas(cls, n: int) -> "QuorumSpec":
+        """Build a spec tolerating the maximum number of faults for ``n``."""
+        return cls(n=n, f=max_faulty(n))
+
+    @property
+    def nf(self) -> int:
+        """Number of non-faulty replicas; also the commit-quorum size."""
+        return self.n - self.f
+
+    @property
+    def commit_quorum(self) -> int:
+        """Identical messages needed to mark a proposal prepared/committed."""
+        return self.nf
+
+    @property
+    def weak_quorum(self) -> int:
+        """Messages guaranteeing at least one non-faulty sender (``f + 1``)."""
+        return self.f + 1
+
+    @property
+    def view_change_quorum(self) -> int:
+        """ViewChange messages a new primary must collect to install a view."""
+        return self.nf
+
+    def intersects(self, other_quorum_size: int) -> bool:
+        """True when any two quorums of the given sizes must share a non-faulty replica."""
+        return self.commit_quorum + other_quorum_size - self.n > self.f

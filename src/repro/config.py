@@ -1,0 +1,184 @@
+"""Deployment, workload, and timer configuration.
+
+The standard settings mirror Section 8 of the paper: 15 shards mapped to 15
+GCP regions, 28 replicas per shard (420 replicas total), batches of 100
+transactions, 30% cross-shard transactions each touching all involved
+regions, and up to 50K open-loop clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.quorum import QuorumSpec, max_faulty
+from repro.errors import ConfigurationError
+from repro.txn.ring import RingTopology
+
+#: The fifteen GCP regions used in the paper's deployment, in the order the
+#: paper lists them (experiments with fewer shards use a prefix of this list).
+GCP_REGIONS: tuple[str, ...] = (
+    "oregon",
+    "iowa",
+    "montreal",
+    "netherlands",
+    "taiwan",
+    "sydney",
+    "singapore",
+    "south-carolina",
+    "north-virginia",
+    "los-angeles",
+    "las-vegas",
+    "london",
+    "belgium",
+    "tokyo",
+    "hong-kong",
+)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Configuration of a single shard."""
+
+    shard_id: int
+    num_replicas: int
+    region: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.num_replicas < 4:
+            raise ConfigurationError(
+                f"shard {self.shard_id} needs at least 4 replicas to tolerate one fault, "
+                f"got {self.num_replicas}"
+            )
+
+    @property
+    def quorum(self) -> QuorumSpec:
+        return QuorumSpec.for_replicas(self.num_replicas)
+
+    @property
+    def max_faulty(self) -> int:
+        return max_faulty(self.num_replicas)
+
+
+@dataclass(frozen=True)
+class TimerConfig:
+    """Timeout durations (seconds) for the three RingBFT timers (Section 5).
+
+    The paper requires ``local < remote < transmit`` so that a local
+    view-change fires before remote machinery and retransmission is the last
+    resort.
+    """
+
+    local_timeout: float = 2.0
+    remote_timeout: float = 4.0
+    transmit_timeout: float = 6.0
+    client_timeout: float = 8.0
+    checkpoint_interval: int = 100
+
+    def __post_init__(self) -> None:
+        if not self.local_timeout < self.remote_timeout < self.transmit_timeout:
+            raise ConfigurationError(
+                "timer ordering must satisfy local < remote < transmit, got "
+                f"{self.local_timeout} / {self.remote_timeout} / {self.transmit_timeout}"
+            )
+        if self.checkpoint_interval <= 0:
+            raise ConfigurationError("checkpoint_interval must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """YCSB-style workload parameters (Section 8, *Benchmark* and *Standard Settings*)."""
+
+    num_records: int = 600_000
+    cross_shard_fraction: float = 0.30
+    involved_shards: int = 0  # 0 means "all shards", the paper's standard setting
+    remote_reads: int = 0
+    zipf_theta: float = 0.0  # 0.0 = uniform access
+    num_clients: int = 50_000
+    batch_size: int = 100
+    seed: int = 2022
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cross_shard_fraction <= 1.0:
+            raise ConfigurationError("cross_shard_fraction must be within [0, 1]")
+        if self.num_records <= 0:
+            raise ConfigurationError("num_records must be positive")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        if self.num_clients <= 0:
+            raise ConfigurationError("num_clients must be positive")
+        if self.remote_reads < 0:
+            raise ConfigurationError("remote_reads cannot be negative")
+        if self.zipf_theta < 0:
+            raise ConfigurationError("zipf_theta cannot be negative")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full description of a sharded deployment."""
+
+    shards: tuple[ShardConfig, ...]
+    timers: TimerConfig = field(default_factory=TimerConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    ring_order: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ConfigurationError("a deployment needs at least one shard")
+        ids = [s.shard_id for s in self.shards]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate shard identifiers: {ids}")
+        if self.ring_order is not None and set(self.ring_order) != set(ids):
+            raise ConfigurationError(
+                f"ring_order {self.ring_order} must be a permutation of the shard ids {ids}"
+            )
+
+    @classmethod
+    def uniform(
+        cls,
+        num_shards: int,
+        replicas_per_shard: int,
+        *,
+        timers: TimerConfig | None = None,
+        workload: WorkloadConfig | None = None,
+        regions: tuple[str, ...] = GCP_REGIONS,
+    ) -> "SystemConfig":
+        """Build a deployment of ``num_shards`` equal shards, one per region."""
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        shards = tuple(
+            ShardConfig(
+                shard_id=i,
+                num_replicas=replicas_per_shard,
+                region=regions[i % len(regions)],
+            )
+            for i in range(num_shards)
+        )
+        return cls(
+            shards=shards,
+            timers=timers or TimerConfig(),
+            workload=workload or WorkloadConfig(),
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def total_replicas(self) -> int:
+        return sum(s.num_replicas for s in self.shards)
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(s.shard_id for s in self.shards)
+
+    def shard(self, shard_id: int) -> ShardConfig:
+        for s in self.shards:
+            if s.shard_id == shard_id:
+                return s
+        raise ConfigurationError(f"unknown shard {shard_id}")
+
+    def ring(self) -> RingTopology:
+        """The ring topology used to route cross-shard transactions."""
+        if self.ring_order is not None:
+            return RingTopology(self.ring_order)
+        return RingTopology.ascending(self.shard_ids)

@@ -1,0 +1,7 @@
+"""Consensus protocols: intra-shard PBFT and the directory shared by all nodes."""
+
+from repro.consensus.directory import Directory
+from repro.consensus.pbft.replica import PbftReplica
+from repro.consensus.pbft.client import Client
+
+__all__ = ["Directory", "PbftReplica", "Client"]

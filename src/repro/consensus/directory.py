@@ -1,0 +1,81 @@
+"""Static deployment directory shared (read-only) by every node.
+
+Permissioned blockchains know the full membership up front; the directory
+captures that knowledge: which replicas form each shard, which region each
+shard lives in, the ring order, and the quorum thresholds.  Nodes never
+mutate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.quorum import QuorumSpec
+from repro.common.types import ReplicaId
+from repro.config import SystemConfig
+from repro.errors import ConfigurationError
+from repro.txn.ring import RingTopology
+
+
+@dataclass(frozen=True)
+class Directory:
+    """Immutable membership and topology information for one deployment."""
+
+    config: SystemConfig
+    ring: RingTopology
+    replicas_by_shard: dict[int, tuple[ReplicaId, ...]] = field(default_factory=dict)
+    regions_by_shard: dict[int, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_config(cls, config: SystemConfig) -> "Directory":
+        replicas = {
+            shard.shard_id: tuple(
+                ReplicaId(shard=shard.shard_id, index=i) for i in range(shard.num_replicas)
+            )
+            for shard in config.shards
+        }
+        regions = {shard.shard_id: shard.region for shard in config.shards}
+        return cls(
+            config=config,
+            ring=config.ring(),
+            replicas_by_shard=replicas,
+            regions_by_shard=regions,
+        )
+
+    # -- membership ------------------------------------------------------
+
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(self.replicas_by_shard)
+
+    def replicas_of(self, shard_id: int) -> tuple[ReplicaId, ...]:
+        if shard_id not in self.replicas_by_shard:
+            raise ConfigurationError(f"unknown shard {shard_id}")
+        return self.replicas_by_shard[shard_id]
+
+    def all_replicas(self) -> tuple[ReplicaId, ...]:
+        return tuple(r for shard in sorted(self.replicas_by_shard) for r in self.replicas_by_shard[shard])
+
+    def shard_size(self, shard_id: int) -> int:
+        return len(self.replicas_of(shard_id))
+
+    def quorum(self, shard_id: int) -> QuorumSpec:
+        return QuorumSpec.for_replicas(self.shard_size(shard_id))
+
+    def region_of(self, shard_id: int) -> str:
+        return self.regions_by_shard.get(shard_id, "local")
+
+    def primary_of(self, shard_id: int, view: int = 0) -> ReplicaId:
+        """The replica acting as primary of ``shard_id`` in ``view``."""
+        members = self.replicas_of(shard_id)
+        return members[view % len(members)]
+
+    def peer_with_index(self, shard_id: int, index: int) -> ReplicaId:
+        """Replica of ``shard_id`` with local index ``index`` (wrapping).
+
+        The linear communication primitive pairs replica ``i`` of one shard
+        with replica ``i`` of the next; when shards have different sizes the
+        index wraps around, preserving the property that at least ``f + 1``
+        non-faulty senders reach ``f + 1`` distinct non-faulty receivers.
+        """
+        members = self.replicas_of(shard_id)
+        return members[index % len(members)]

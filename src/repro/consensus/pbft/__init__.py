@@ -1,0 +1,7 @@
+"""Intra-shard PBFT: three-phase consensus, checkpointing, and view changes."""
+
+from repro.consensus.pbft.log import ConsensusLog, SlotState
+from repro.consensus.pbft.replica import PbftReplica
+from repro.consensus.pbft.client import Client
+
+__all__ = ["ConsensusLog", "SlotState", "PbftReplica", "Client"]

@@ -1,0 +1,151 @@
+"""Client node: submits transactions and waits for ``f + 1`` matching replies.
+
+Clients sign their requests (non-repudiation, attack A1 in the paper), send
+them to the primary of the first involved shard in ring order, and start a
+timer.  If the timer fires before ``f + 1`` identical responses arrive, the
+client broadcasts the request to *every* replica of that shard, which forces
+either a reply (already executed) or a view change (primary withholding the
+request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.crypto import KeyStore, SignatureScheme
+from repro.common.messages import ClientRequest, ClientResponse
+from repro.config import TimerConfig
+from repro.consensus.directory import Directory
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.txn.transaction import Transaction
+
+
+@dataclass
+class CompletedTransaction:
+    """Latency record for one completed transaction."""
+
+    txn_id: str
+    submitted_at: float
+    completed_at: float
+    cross_shard: bool
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class _InFlight:
+    request: ClientRequest
+    target_shard: int
+    submitted_at: float
+    responders: set[str] = field(default_factory=set)
+    retransmissions: int = 0
+
+
+class Client(Node):
+    """An open-loop client driving one or more transactions at a time."""
+
+    def __init__(
+        self,
+        client_id: str,
+        directory: Directory,
+        network: Network,
+        keystore: KeyStore,
+        *,
+        region: str = "local",
+        timers: TimerConfig | None = None,
+    ) -> None:
+        super().__init__(client_id, region, network)
+        self.client_id = client_id
+        self.directory = directory
+        self.timers_config = timers or directory.config.timers
+        self.signer = SignatureScheme(keystore)
+        self._signing_key = keystore.signing_key(client_id)
+        self._in_flight: dict[str, _InFlight] = {}
+        self.completed: list[CompletedTransaction] = []
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def target_shard_for(self, txn: Transaction) -> int:
+        """The shard a request is addressed to: first involved shard in ring order."""
+        return self.directory.ring.first_in_ring_order(txn.involved_shards)
+
+    def submit(self, txn: Transaction) -> ClientRequest:
+        """Sign and send ``txn`` to the primary of its initiator shard."""
+        request = ClientRequest(sender=self.client_id, transaction=txn)
+        signature = self.signer.sign(self.client_id, request.payload_bytes(), self._signing_key)
+        request = ClientRequest(sender=self.client_id, transaction=txn, signature=signature)
+        target_shard = self.target_shard_for(txn)
+        self._in_flight[txn.txn_id] = _InFlight(
+            request=request, target_shard=target_shard, submitted_at=self.now
+        )
+        primary = self.directory.primary_of(target_shard, view=0)
+        self.send(primary, request)
+        self._arm_retransmission_timer(txn.txn_id)
+        return request
+
+    def _arm_retransmission_timer(self, txn_id: str, attempt: int = 0) -> None:
+        # Exponential backoff: repeated broadcasts of an unanswered request
+        # would otherwise flood a recovering shard with duplicates.
+        delay = self.timers_config.client_timeout * (2 ** min(attempt, 4))
+        self.set_timer(
+            f"client-{txn_id}",
+            delay,
+            lambda: self._on_timeout(txn_id),
+        )
+
+    def _on_timeout(self, txn_id: str) -> None:
+        entry = self._in_flight.get(txn_id)
+        if entry is None:
+            return
+        # Broadcast to every replica of the target shard (attack A1 recovery).
+        entry.retransmissions += 1
+        replicas = self.directory.replicas_of(entry.target_shard)
+        self.broadcast(list(replicas), entry.request)
+        self._arm_retransmission_timer(txn_id, attempt=entry.retransmissions)
+
+    # ------------------------------------------------------------------
+    # responses
+    # ------------------------------------------------------------------
+
+    def on_message(self, message) -> None:
+        if not isinstance(message, ClientResponse):
+            return
+        entry = self._in_flight.get(message.txn_id)
+        if entry is None:
+            return
+        entry.responders.add(str(message.sender))
+        needed = self.directory.quorum(entry.target_shard).weak_quorum
+        if len(entry.responders) >= needed:
+            self._complete(message.txn_id, entry)
+
+    def _complete(self, txn_id: str, entry: _InFlight) -> None:
+        del self._in_flight[txn_id]
+        self.cancel_timer(f"client-{txn_id}")
+        self.completed.append(
+            CompletedTransaction(
+                txn_id=txn_id,
+                submitted_at=entry.submitted_at,
+                completed_at=self.now,
+                cross_shard=entry.request.transaction.is_cross_shard,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.completed)
+
+    def latencies(self) -> list[float]:
+        return [record.latency for record in self.completed]

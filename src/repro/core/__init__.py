@@ -1,0 +1,6 @@
+"""RingBFT: the paper's primary contribution (cross-shard consensus over a ring)."""
+
+from repro.core.records import CrossShardRecord
+from repro.core.replica import RingBftReplica
+
+__all__ = ["CrossShardRecord", "RingBftReplica"]

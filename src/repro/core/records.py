@@ -1,0 +1,72 @@
+"""Per-batch bookkeeping for cross-shard transactions travelling the ring."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.messages import ClientRequest
+
+
+@dataclass
+class CrossShardRecord:
+    """Everything one replica knows about one cross-shard batch.
+
+    The record is keyed by the batch digest ``Delta``, which is identical at
+    every involved shard because it is computed over the client-signed
+    requests themselves (not over any shard-local sequence number).
+    """
+
+    batch_digest: bytes
+    involved_shards: frozenset[int]
+    requests: tuple[ClientRequest, ...] = ()
+
+    #: Local consensus progress.
+    sequence: int | None = None
+    commit_view: int = 0
+    consensus_started: bool = False
+
+    #: Rotation progress on this replica.
+    locked: bool = False
+    executed: bool = False
+    replied: bool = False
+    forwarded: bool = False
+    execute_sent: bool = False
+    rotation_complete: bool = False
+
+    #: Forward/Execute vote tracking: origin shard -> distinct original senders.
+    forward_senders: dict[int, set[str]] = field(default_factory=dict)
+    execute_senders: dict[int, set[str]] = field(default_factory=dict)
+    remote_view_senders: dict[int, set[str]] = field(default_factory=dict)
+
+    #: Accumulated write sets (the Sigma of the paper), per shard.
+    write_sets: dict[int, dict[str, str]] = field(default_factory=dict)
+
+    #: True when an Execute quorum arrived before the local lock was acquired.
+    execute_ready: bool = False
+
+    #: Retransmission counter for the transmit timer.
+    retransmissions: int = 0
+
+    def record_forward(self, origin_shard: int, sender: str) -> int:
+        """Count a Forward message; returns the number of distinct senders so far."""
+        senders = self.forward_senders.setdefault(origin_shard, set())
+        senders.add(sender)
+        return len(senders)
+
+    def record_execute(self, origin_shard: int, sender: str) -> int:
+        senders = self.execute_senders.setdefault(origin_shard, set())
+        senders.add(sender)
+        return len(senders)
+
+    def record_remote_view(self, origin_shard: int, sender: str) -> int:
+        senders = self.remote_view_senders.setdefault(origin_shard, set())
+        senders.add(sender)
+        return len(senders)
+
+    def merge_write_sets(self, incoming: dict[int, dict[str, str]]) -> None:
+        for shard, writes in incoming.items():
+            self.write_sets.setdefault(shard, {}).update(writes)
+
+    @property
+    def txn_ids(self) -> tuple[str, ...]:
+        return tuple(req.transaction.txn_id for req in self.requests)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the RingBFT reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a system, shard, or workload configuration is invalid."""
+
+
+class CryptoError(ReproError):
+    """Raised when message authentication or signature verification fails."""
+
+
+class MalformedMessageError(ReproError):
+    """Raised when a protocol message fails well-formedness validation."""
+
+
+class QuorumError(ReproError):
+    """Raised when quorum arithmetic is requested for an impossible setting."""
+
+
+class LockError(ReproError):
+    """Raised on illegal lock-manager transitions (double release, etc.)."""
+
+
+class LedgerError(ReproError):
+    """Raised when a block violates chain integrity (bad parent hash, ...)."""
+
+
+class StorageError(ReproError):
+    """Raised by the partitioned key-value store on invalid access."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event kernel on scheduling misuse."""
+
+
+class NetworkError(ReproError):
+    """Raised by the simulated network layer on invalid routing."""
+
+
+class ConsensusError(ReproError):
+    """Raised when a consensus state machine reaches an illegal state."""
+
+
+class ViewChangeError(ConsensusError):
+    """Raised when view-change bookkeeping is violated."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload generators on invalid parameters."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness for unknown or invalid experiments."""

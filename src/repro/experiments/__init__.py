@@ -1,0 +1,5 @@
+"""Experiment harness: one module per paper figure, plus a registry/runner."""
+
+from repro.experiments.runner import EXPERIMENTS, format_table, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment", "format_table"]

@@ -1,0 +1,73 @@
+"""Figure 1: scalability comparison of BFT protocol families.
+
+The introduction's headline figure compares the throughput of single-primary
+(Pbft, Zyzzyva, Sbft, PoE), multi-primary (Rcc), chained (HotStuff), and
+sharded (RingBFT) protocols while varying the number of replicas per group
+(4, 16, 32).  RingBFT runs 9 shards with that many replicas *per shard* and is
+shown both without cross-shard transactions (``RingBFT``) and with 15%
+cross-shard transactions (``RingBFT_X``); the fully-replicated protocols run a
+single group of that many replicas spread over the same regions.
+"""
+
+from __future__ import annotations
+
+from repro.analytical import DeploymentSpec, estimate, model_by_name
+
+#: Replica counts on the x-axis of Figure 1.
+NODE_COUNTS: tuple[int, ...] = (4, 16, 32)
+
+#: Fully-replicated protocols shown alongside RingBFT.
+FULLY_REPLICATED: tuple[str, ...] = ("Pbft", "Sbft", "HotStuff", "Rcc", "PoE", "Zyzzyva")
+
+#: RingBFT runs 9 shards in Figure 1.
+RINGBFT_SHARDS = 9
+#: RingBFT_X adds 15% cross-shard transactions.
+CROSS_SHARD_FRACTION_X = 0.15
+
+
+def run(node_counts: tuple[int, ...] = NODE_COUNTS) -> list[dict]:
+    """Regenerate the Figure 1 series; one row per (protocol, node count)."""
+    rows: list[dict] = []
+    for nodes in node_counts:
+        ring_spec = DeploymentSpec(
+            num_shards=RINGBFT_SHARDS,
+            replicas_per_shard=nodes,
+            cross_shard_fraction=0.0,
+        )
+        ring = estimate(model_by_name("RingBFT"), ring_spec)
+        rows.append(
+            {
+                "protocol": "RingBFT",
+                "nodes_per_group": nodes,
+                "total_nodes": RINGBFT_SHARDS * nodes,
+                "throughput_tps": round(ring.throughput_tps, 1),
+            }
+        )
+        ring_x = estimate(
+            model_by_name("RingBFT"),
+            ring_spec.with_(cross_shard_fraction=CROSS_SHARD_FRACTION_X),
+        )
+        rows.append(
+            {
+                "protocol": "RingBFT_X",
+                "nodes_per_group": nodes,
+                "total_nodes": RINGBFT_SHARDS * nodes,
+                "throughput_tps": round(ring_x.throughput_tps, 1),
+            }
+        )
+        for protocol in FULLY_REPLICATED:
+            spec = DeploymentSpec(
+                num_shards=1,
+                replicas_per_shard=max(nodes, 4),
+                cross_shard_fraction=0.0,
+            )
+            result = estimate(model_by_name(protocol), spec)
+            rows.append(
+                {
+                    "protocol": protocol,
+                    "nodes_per_group": nodes,
+                    "total_nodes": nodes,
+                    "throughput_tps": round(result.throughput_tps, 1),
+                }
+            )
+    return rows

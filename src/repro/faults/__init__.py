@@ -1,0 +1,5 @@
+"""Fault injection: crash, Byzantine, and network attacks from Section 5."""
+
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultInjector"]

@@ -1,0 +1,161 @@
+"""Fault injector: schedules the attacks the paper analyses in Section 5.
+
+Attacks are expressed against a :class:`repro.cluster.Cluster` and scheduled
+on its simulator so experiments can fail components at precise virtual times
+(e.g. Figure 9 fails the primaries of three shards at t = 10 s).
+
+Supported attacks:
+
+* **crash_primary** -- fail-stop the current primary of a shard (A2);
+* **silence_primary** -- Byzantine primary that ignores client requests (A2);
+* **dark_attack** -- Byzantine primary that keeps up to ``f`` replicas in the
+  dark by excluding them from its broadcasts (A3);
+* **drop_forwards** -- replicas of a shard stop sending Forward messages,
+  producing the *no communication* / *partial communication* cross-shard
+  attacks (C1/C2);
+* **partition / message_loss** -- network-level unreliability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster import Cluster
+from repro.core.replica import RingBftReplica
+
+
+@dataclass
+class FaultInjector:
+    """Schedules faults against a running cluster."""
+
+    cluster: Cluster
+    log: list[tuple[float, str]] = field(default_factory=list)
+
+    def _record(self, description: str) -> None:
+        self.log.append((self.cluster.simulator.now, description))
+
+    # ------------------------------------------------------------------
+    # crash & Byzantine primaries
+    # ------------------------------------------------------------------
+
+    def crash_primary(self, shard: int, at: float | None = None, view: int = 0) -> None:
+        """Fail-stop the primary of ``shard`` (immediately or at virtual time ``at``)."""
+
+        def _crash() -> None:
+            primary = self.cluster.primary_of(shard, view)
+            primary.crash()
+            self._record(f"crashed primary {primary.replica_id} of shard {shard}")
+
+        self._schedule(_crash, at)
+
+    def crash_replica(self, shard: int, index: int, at: float | None = None) -> None:
+        """Fail-stop an arbitrary replica of ``shard``."""
+
+        def _crash() -> None:
+            replica = self.cluster.replica(shard, index)
+            replica.crash()
+            self._record(f"crashed replica {replica.replica_id}")
+
+        self._schedule(_crash, at)
+
+    def silence_primary(self, shard: int, at: float | None = None, view: int = 0) -> None:
+        """Byzantine primary that stops proposing client requests (attack A2)."""
+
+        def _silence() -> None:
+            primary = self.cluster.primary_of(shard, view)
+            primary.byzantine_silent = True
+            self._record(f"silenced primary {primary.replica_id} of shard {shard}")
+
+        self._schedule(_silence, at)
+
+    def dark_attack(self, shard: int, victims: int | None = None, at: float | None = None) -> None:
+        """Byzantine primary keeps up to ``f`` replicas in the dark (attack A3)."""
+
+        def _dark() -> None:
+            primary = self.cluster.primary_of(shard, 0)
+            f = self.cluster.directory.quorum(shard).f
+            count = min(victims if victims is not None else f, f)
+            members = [r for r in self.cluster.directory.replicas_of(shard) if r != primary.replica_id]
+            primary.dark_targets = set(members[-count:]) if count else set()
+            self._record(f"primary of shard {shard} keeps {count} replicas in the dark")
+
+        self._schedule(_dark, at)
+
+    # ------------------------------------------------------------------
+    # cross-shard communication attacks (C1 / C2)
+    # ------------------------------------------------------------------
+
+    def drop_forwards(self, shard: int, replicas: int | None = None, at: float | None = None) -> None:
+        """Make replicas of ``shard`` drop their outgoing Forward messages.
+
+        Dropping on more than ``n - (f + 1)`` replicas creates the *partial
+        communication* attack: the next shard cannot collect ``f + 1``
+        matching Forwards and must fall back to its remote timer.
+        """
+
+        def _drop() -> None:
+            members = self.cluster.shard_replicas(shard)
+            count = len(members) if replicas is None else min(replicas, len(members))
+            dropped = 0
+            for replica in members[:count]:
+                if isinstance(replica, RingBftReplica):
+                    replica.drop_forwards = True
+                    dropped += 1
+            self._record(f"{dropped} replicas of shard {shard} drop Forward messages")
+
+        self._schedule(_drop, at)
+
+    def block_cross_shard_link(self, src_shard: int, dst_shard: int, at: float | None = None) -> None:
+        """Block every network link from ``src_shard`` to ``dst_shard`` (attack C1)."""
+
+        def _block() -> None:
+            conditions = self.cluster.network.conditions
+            for src in self.cluster.directory.replicas_of(src_shard):
+                for dst in self.cluster.directory.replicas_of(dst_shard):
+                    conditions.block_link(src, dst)
+            self._record(f"blocked links shard {src_shard} -> shard {dst_shard}")
+
+        self._schedule(_block, at)
+
+    def heal_cross_shard_link(self, src_shard: int, dst_shard: int, at: float | None = None) -> None:
+        """Remove a previously installed shard-to-shard block."""
+
+        def _heal() -> None:
+            conditions = self.cluster.network.conditions
+            for src in self.cluster.directory.replicas_of(src_shard):
+                for dst in self.cluster.directory.replicas_of(dst_shard):
+                    conditions.unblock_link(src, dst)
+            self._record(f"healed links shard {src_shard} -> shard {dst_shard}")
+
+        self._schedule(_heal, at)
+
+    # ------------------------------------------------------------------
+    # network-level unreliability
+    # ------------------------------------------------------------------
+
+    def set_message_loss(self, probability: float, at: float | None = None) -> None:
+        """Drop every message independently with the given probability."""
+
+        def _set() -> None:
+            self.cluster.network.conditions.drop_probability = probability
+            self._record(f"message loss probability set to {probability}")
+
+        self._schedule(_set, at)
+
+    def recover_replica(self, shard: int, index: int, at: float | None = None) -> None:
+        """Bring a crashed replica back (it rejoins with its pre-crash state)."""
+
+        def _recover() -> None:
+            replica = self.cluster.replica(shard, index)
+            replica.recover()
+            self._record(f"recovered replica {replica.replica_id}")
+
+        self._schedule(_recover, at)
+
+    # ------------------------------------------------------------------
+
+    def _schedule(self, action, at: float | None) -> None:
+        if at is None:
+            action()
+        else:
+            self.cluster.simulator.schedule_at(at, action)

@@ -1,0 +1,5 @@
+"""Throughput and latency metrics collection."""
+
+from repro.metrics.collector import MetricsSummary, ThroughputSeries, summarize
+
+__all__ = ["MetricsSummary", "ThroughputSeries", "summarize"]

@@ -1,0 +1,84 @@
+"""Throughput / latency summarisation for completed transactions.
+
+Every experiment in the paper reports two numbers per configuration -- total
+throughput (txn/s) and average latency (s) -- plus, for the primary-failure
+experiment, a throughput time series.  These helpers turn the per-client
+completion records produced by the simulator into those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.pbft.client import CompletedTransaction
+
+
+@dataclass(frozen=True)
+class MetricsSummary:
+    """Aggregate throughput/latency for one experiment run."""
+
+    completed: int
+    duration: float
+    throughput: float
+    avg_latency: float
+    p50_latency: float
+    p99_latency: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "completed": self.completed,
+            "duration_s": round(self.duration, 3),
+            "throughput_tps": round(self.throughput, 1),
+            "avg_latency_s": round(self.avg_latency, 4),
+            "p50_latency_s": round(self.p50_latency, 4),
+            "p99_latency_s": round(self.p99_latency, 4),
+        }
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def summarize(records: list[CompletedTransaction], duration: float | None = None) -> MetricsSummary:
+    """Summarise completion records into throughput and latency statistics.
+
+    ``duration`` defaults to the span between the first submission and the
+    last completion, which matches how a fixed-length measurement window is
+    normally reported.
+    """
+    if not records:
+        return MetricsSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    latencies = sorted(record.latency for record in records)
+    start = min(record.submitted_at for record in records)
+    end = max(record.completed_at for record in records)
+    span = duration if duration is not None else max(end - start, 1e-9)
+    return MetricsSummary(
+        completed=len(records),
+        duration=span,
+        throughput=len(records) / span,
+        avg_latency=sum(latencies) / len(latencies),
+        p50_latency=_percentile(latencies, 0.50),
+        p99_latency=_percentile(latencies, 0.99),
+    )
+
+
+@dataclass
+class ThroughputSeries:
+    """Throughput bucketed over time -- used for the view-change experiment (Figure 9)."""
+
+    bucket_seconds: float = 5.0
+
+    def compute(self, records: list[CompletedTransaction], horizon: float) -> list[tuple[float, float]]:
+        """Return ``(bucket_start_time, txn_per_second)`` points covering ``[0, horizon]``."""
+        buckets: dict[int, int] = {}
+        for record in records:
+            bucket = int(record.completed_at // self.bucket_seconds)
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+        series = []
+        for bucket in range(int(horizon // self.bucket_seconds) + 1):
+            count = buckets.get(bucket, 0)
+            series.append((bucket * self.bucket_seconds, count / self.bucket_seconds))
+        return series

@@ -1,0 +1,100 @@
+"""ASCII rendering of experiment series (terminal-friendly "figures").
+
+The paper's figures are line charts of throughput/latency against a swept
+parameter.  This module renders the same series as plain-text charts so that
+``ringbft plot <experiment>`` can show a figure's shape directly in the
+terminal, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_BAR = "#"
+_WIDTH = 46
+
+
+def _format_value(value: float) -> str:
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.2f}M"
+    if value >= 1_000:
+        return f"{value / 1_000:.1f}K"
+    return f"{value:.2f}"
+
+
+def horizontal_bars(
+    points: Sequence[tuple[str, float]],
+    *,
+    title: str = "",
+    unit: str = "",
+    width: int = _WIDTH,
+) -> str:
+    """Render ``(label, value)`` pairs as a horizontal bar chart."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    peak = max(value for _, value in points) or 1.0
+    label_width = max(len(label) for label, _ in points)
+    for label, value in points:
+        bar = _BAR * max(1, int(round(width * value / peak))) if value > 0 else ""
+        lines.append(
+            f"  {label.ljust(label_width)} | {bar.ljust(width)} {_format_value(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    rows: list[dict],
+    *,
+    x_key: str,
+    y_key: str,
+    group_key: str = "protocol",
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render experiment rows (one group per protocol) as grouped bar charts.
+
+    ``rows`` is the output of an experiment module: a list of dictionaries
+    with a group column (protocol), an x column (the swept parameter), and a
+    y column (the measured value).
+    """
+    groups: dict[str, list[tuple[str, float]]] = {}
+    for row in rows:
+        if x_key not in row or y_key not in row:
+            continue
+        group = str(row.get(group_key, ""))
+        groups.setdefault(group, []).append((str(row[x_key]), float(row[y_key])))
+    blocks: list[str] = []
+    if title:
+        blocks.append(f"== {title} ==")
+    for group, points in groups.items():
+        heading = f"{group}  ({y_key} vs {x_key})" if group else f"{y_key} vs {x_key}"
+        blocks.append(horizontal_bars(points, title=heading, unit=unit))
+    return "\n\n".join(blocks) if blocks else "(no data)"
+
+
+def figure_chart(experiment: str, rows: list[dict]) -> str:
+    """Best-effort chart for a registered experiment's rows.
+
+    Picks the x-axis column the experiment swept (the first column that is
+    neither the protocol nor a measurement) and renders one throughput chart
+    and, when available, one latency chart.
+    """
+    if not rows:
+        return "(no data)"
+    measurement_keys = {"throughput_tps", "latency_s", "bottleneck", "protocol"}
+    sample = rows[0]
+    x_key = next((key for key in sample if key not in measurement_keys), None)
+    if x_key is None or "throughput_tps" not in sample:
+        return series_chart(rows, x_key=list(sample)[0], y_key=list(sample)[-1], title=experiment)
+    charts = [
+        series_chart(rows, x_key=x_key, y_key="throughput_tps", title=f"{experiment}: throughput", unit=" tps")
+    ]
+    if "latency_s" in sample:
+        charts.append(
+            series_chart(rows, x_key=x_key, y_key="latency_s", title=f"{experiment}: latency", unit=" s")
+        )
+    return "\n\n".join(charts)

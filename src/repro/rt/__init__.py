@@ -1,0 +1,6 @@
+"""Real-time (asyncio) runtime: run the same protocol code outside the simulator."""
+
+from repro.rt.transport import AsyncNetwork, RealTimeScheduler
+from repro.rt.runtime import RealTimeCluster, WorkloadResult
+
+__all__ = ["AsyncNetwork", "RealTimeScheduler", "RealTimeCluster", "WorkloadResult"]

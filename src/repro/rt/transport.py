@@ -1,0 +1,172 @@
+"""Real-time transport: the simulator interfaces re-implemented over asyncio.
+
+The protocol classes (``PbftReplica``, ``RingBftReplica``, the baselines, and
+``Client``) only interact with their environment through two narrow
+interfaces: a *scheduler* (``now``, ``schedule``, ``rng``) and a *network*
+(``register``, ``send``, ``conditions``).  In the default configuration those
+are provided by the deterministic discrete-event simulator; this module
+provides drop-in replacements backed by a running asyncio event loop, so the
+exact same replica code can be executed in real time -- messages become
+``call_later`` callbacks with real delays, timers become real timers.
+
+This is the "it actually runs" mode: useful for demos, for sanity-checking
+that protocol timings hold under real scheduling jitter, and as a starting
+point for a genuine networked deployment (replace :class:`AsyncNetwork` with
+sockets).  It is *not* the mode used to regenerate the paper's figures -- the
+calibrated analytical model and the simulator are far better suited for that.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+from repro.errors import NetworkError, SimulationError
+from repro.sim.network import NetworkConditions
+from repro.sim.regions import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.common.messages import Message
+    from repro.sim.node import Node
+
+
+class _AsyncTimerHandle:
+    """Cancellable handle compatible with the simulator's ``TimerHandle``."""
+
+    def __init__(self, handle: asyncio.TimerHandle, fire_time: float) -> None:
+        self._handle = handle
+        self._fire_time = fire_time
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._handle.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fire_time(self) -> float:
+        return self._fire_time
+
+
+class RealTimeScheduler:
+    """Scheduler facade over a running asyncio event loop.
+
+    Exposes the subset of :class:`repro.sim.kernel.Simulator` the nodes use:
+    ``now``, ``schedule``, ``schedule_at``, and ``rng``.  ``time_scale``
+    compresses (or stretches) every delay, which keeps demos snappy while
+    preserving relative timer ordering.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop | None = None, *, seed: int = 2022,
+                 time_scale: float = 1.0) -> None:
+        self._loop = loop or asyncio.get_event_loop()
+        self._rng = random.Random(seed)
+        if time_scale <= 0:
+            raise SimulationError("time_scale must be positive")
+        self._time_scale = time_scale
+        self._origin = self._loop.time()
+        self._scheduled = 0
+
+    @property
+    def now(self) -> float:
+        """Elapsed (unscaled) protocol time since the scheduler was created."""
+        return (self._loop.time() - self._origin) / self._time_scale
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def scheduled_callbacks(self) -> int:
+        return self._scheduled
+
+    def schedule(self, delay: float, callback) -> _AsyncTimerHandle:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._scheduled += 1
+        handle = self._loop.call_later(delay * self._time_scale, callback)
+        return _AsyncTimerHandle(handle, self.now + delay)
+
+    def schedule_at(self, time: float, callback) -> _AsyncTimerHandle:
+        return self.schedule(max(0.0, time - self.now), callback)
+
+
+@dataclass
+class _AsyncDeliveryStats:
+    delivered: int = 0
+    dropped: int = 0
+    bytes_delivered: int = 0
+
+
+class AsyncNetwork:
+    """Message fabric over asyncio: API-compatible with ``repro.sim.network.Network``."""
+
+    def __init__(
+        self,
+        scheduler: RealTimeScheduler,
+        latency: LatencyModel | None = None,
+        conditions: NetworkConditions | None = None,
+        *,
+        latency_scale: float = 1.0,
+    ) -> None:
+        self._scheduler = scheduler
+        self._latency = latency or LatencyModel()
+        self._latency_scale = latency_scale
+        self.conditions = conditions or NetworkConditions()
+        self._nodes: dict[Hashable, "Node"] = {}
+        self._regions: dict[Hashable, str] = {}
+        self.stats = _AsyncDeliveryStats()
+
+    # The node base class accesses ``network.simulator`` for time and timers.
+    @property
+    def simulator(self) -> RealTimeScheduler:
+        return self._scheduler
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency
+
+    def register(self, node: "Node") -> None:
+        if node.address in self._nodes:
+            raise NetworkError(f"address {node.address!r} is already registered")
+        self._nodes[node.address] = node
+        self._regions[node.address] = node.region
+
+    def node(self, address: Hashable) -> "Node":
+        if address not in self._nodes:
+            raise NetworkError(f"unknown node address {address!r}")
+        return self._nodes[address]
+
+    def known_addresses(self) -> tuple[Hashable, ...]:
+        return tuple(self._nodes)
+
+    def send(self, src: Hashable, dst: Hashable, message: "Message") -> None:
+        if dst not in self._nodes:
+            raise NetworkError(f"cannot deliver to unknown address {dst!r}")
+        coin = self._scheduler.rng.random()
+        if not self.conditions.allows(src, dst, coin):
+            self.stats.dropped += 1
+            return
+        src_region = self._regions.get(src, "local")
+        dst_region = self._regions[dst]
+        delay = self._latency.message_delay(src_region, dst_region, message.wire_size())
+        delay *= self._latency_scale
+        jitter = delay * self._latency.jitter_fraction * self._scheduler.rng.random()
+        receiver = self._nodes[dst]
+        size = message.wire_size()
+
+        def _deliver() -> None:
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += size
+            receiver.deliver(message)
+
+        self._scheduler.schedule(delay + jitter, _deliver)
+
+    def multicast(self, src: Hashable, dsts, message: "Message") -> None:
+        for dst in dsts:
+            self.send(src, dst, message)

@@ -1,0 +1,126 @@
+"""Deterministic discrete-event simulation kernel.
+
+The paper evaluates RingBFT on a real WAN deployment; this reproduction runs
+the protocols inside a deterministic simulator so that every experiment is
+repeatable and Byzantine/network faults can be injected precisely.  The
+kernel is a classic event-calendar design: callbacks are executed in
+timestamp order, ties broken by insertion order, so a given seed always
+produces the same execution.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    tie_breaker: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class TimerHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the pending callback; cancelling twice is harmless."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def fire_time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """Single-threaded deterministic event loop with virtual time in seconds."""
+
+    def __init__(self, seed: int = 2022) -> None:
+        self._now = 0.0
+        self._queue: list[_Event] = []
+        self._counter = itertools.count()
+        self._rng = random.Random(seed)
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def rng(self) -> random.Random:
+        """Shared deterministic random source for jitter and workload draws."""
+        return self._rng
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = _Event(time=self._now + delay, tie_breaker=next(self._counter), callback=callback)
+        heapq.heappush(self._queue, event)
+        return TimerHandle(event)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> TimerHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        return self.schedule(max(0.0, time - self._now), callback)
+
+    def step(self) -> bool:
+        """Run the next pending event; returns False when the calendar is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run events until the calendar drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the virtual time at which the run stopped.
+        """
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                break
+            nxt = self._peek_time()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self._now = until
+                break
+            if not self.step():
+                break
+            fired += 1
+        if until is not None and self._now < until and self._peek_time() is None:
+            self._now = until
+        return self._now
+
+    def _peek_time(self) -> float | None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

@@ -1,0 +1,130 @@
+"""Simulated WAN connecting clients and replicas.
+
+The network delivers protocol messages with region-to-region latency and
+per-message serialisation delay, and exposes the knobs fault injection needs:
+message-loss probability, one-directional link blocks (to create the paper's
+*no communication* and *partial communication* cross-shard attacks), and full
+node isolation (crash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable
+
+from repro.errors import NetworkError
+from repro.sim.kernel import Simulator
+from repro.sim.regions import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.common.messages import Message
+    from repro.sim.node import Node
+
+NodeAddress = Hashable
+
+
+@dataclass
+class NetworkConditions:
+    """Mutable fault state applied to every message the network carries."""
+
+    drop_probability: float = 0.0
+    blocked_links: set[tuple[NodeAddress, NodeAddress]] = field(default_factory=set)
+    isolated_nodes: set[NodeAddress] = field(default_factory=set)
+
+    def block_link(self, src: NodeAddress, dst: NodeAddress) -> None:
+        self.blocked_links.add((src, dst))
+
+    def unblock_link(self, src: NodeAddress, dst: NodeAddress) -> None:
+        self.blocked_links.discard((src, dst))
+
+    def isolate(self, node: NodeAddress) -> None:
+        self.isolated_nodes.add(node)
+
+    def restore(self, node: NodeAddress) -> None:
+        self.isolated_nodes.discard(node)
+
+    def allows(self, src: NodeAddress, dst: NodeAddress, coin: float) -> bool:
+        """Whether a message from ``src`` to ``dst`` is delivered."""
+        if src in self.isolated_nodes or dst in self.isolated_nodes:
+            return False
+        if (src, dst) in self.blocked_links:
+            return False
+        return coin >= self.drop_probability
+
+
+@dataclass
+class _DeliveryStats:
+    delivered: int = 0
+    dropped: int = 0
+    bytes_delivered: int = 0
+
+
+class Network:
+    """Message fabric shared by all nodes of one simulated deployment."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: LatencyModel | None = None,
+        conditions: NetworkConditions | None = None,
+    ) -> None:
+        self._sim = simulator
+        self._latency = latency or LatencyModel()
+        self.conditions = conditions or NetworkConditions()
+        self._nodes: dict[NodeAddress, "Node"] = {}
+        self._regions: dict[NodeAddress, str] = {}
+        self.stats = _DeliveryStats()
+
+    @property
+    def simulator(self) -> Simulator:
+        return self._sim
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self._latency
+
+    def register(self, node: "Node") -> None:
+        """Attach a node to the fabric; addresses must be unique."""
+        if node.address in self._nodes:
+            raise NetworkError(f"address {node.address!r} is already registered")
+        self._nodes[node.address] = node
+        self._regions[node.address] = node.region
+
+    def node(self, address: NodeAddress) -> "Node":
+        if address not in self._nodes:
+            raise NetworkError(f"unknown node address {address!r}")
+        return self._nodes[address]
+
+    def known_addresses(self) -> tuple[NodeAddress, ...]:
+        return tuple(self._nodes)
+
+    def send(self, src: NodeAddress, dst: NodeAddress, message: "Message") -> None:
+        """Deliver ``message`` from ``src`` to ``dst`` after the modelled delay.
+
+        Delivery is skipped (silently, as in a real lossy network) when fault
+        conditions block the link or the loss coin comes up.
+        """
+        if dst not in self._nodes:
+            raise NetworkError(f"cannot deliver to unknown address {dst!r}")
+        coin = self._sim.rng.random()
+        if not self.conditions.allows(src, dst, coin):
+            self.stats.dropped += 1
+            return
+        src_region = self._regions.get(src, "local")
+        dst_region = self._regions[dst]
+        delay = self._latency.message_delay(src_region, dst_region, message.wire_size())
+        jitter = delay * self._latency.jitter_fraction * self._sim.rng.random()
+        receiver = self._nodes[dst]
+        size = message.wire_size()
+
+        def _deliver() -> None:
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += size
+            receiver.deliver(message)
+
+        self._sim.schedule(delay + jitter, _deliver)
+
+    def multicast(self, src: NodeAddress, dsts: list[NodeAddress] | tuple[NodeAddress, ...], message: "Message") -> None:
+        """Send one copy of ``message`` to every destination (self excluded upstream)."""
+        for dst in dsts:
+            self.send(src, dst, message)

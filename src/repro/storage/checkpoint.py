@@ -1,0 +1,91 @@
+"""Periodic checkpointing (Section 5, attack A3).
+
+A malicious primary can keep up to ``f`` non-faulty replicas "in the dark":
+they never see enough Commit messages to make progress, yet the shard as a
+whole keeps committing.  Checkpoint messages broadcast every
+``checkpoint_interval`` sequence numbers carry the state digest (and, in this
+implementation, the committed batches since the last checkpoint) so dark
+replicas can catch up, and they let all replicas truncate their message logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.crypto import sha256
+from repro.txn.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """A stable checkpoint: sequence number, state digest, and the batches it covers."""
+
+    sequence: int
+    state_digest: bytes
+    batches: tuple[tuple[int, tuple[Transaction, ...]], ...]
+
+
+@dataclass
+class CheckpointStore:
+    """Checkpoint bookkeeping for one replica."""
+
+    interval: int
+    _last_stable: int = 0
+    _batches_since: dict[int, tuple[Transaction, ...]] = field(default_factory=dict)
+    _votes: dict[int, set[str]] = field(default_factory=dict)
+    _stable: dict[int, CheckpointRecord] = field(default_factory=dict)
+
+    @property
+    def last_stable_sequence(self) -> int:
+        return self._last_stable
+
+    def record_batch(self, sequence: int, transactions: tuple[Transaction, ...]) -> None:
+        """Remember a committed batch so it can be shipped to dark replicas."""
+        self._batches_since[sequence] = transactions
+
+    def should_checkpoint(self, sequence: int) -> bool:
+        """True when committing ``sequence`` must trigger a Checkpoint broadcast."""
+        return sequence > 0 and sequence % self.interval == 0
+
+    def state_digest(self, store_digest_input: bytes, sequence: int) -> bytes:
+        return sha256(store_digest_input + sequence.to_bytes(8, "big"))
+
+    def add_vote(self, sequence: int, replica: str, quorum: int) -> bool:
+        """Record a Checkpoint vote; True when the checkpoint just became stable."""
+        votes = self._votes.setdefault(sequence, set())
+        votes.add(replica)
+        if len(votes) >= quorum and sequence > self._last_stable:
+            self._make_stable(sequence)
+            return True
+        return False
+
+    def _make_stable(self, sequence: int) -> None:
+        covered = tuple(
+            (seq, txns)
+            for seq, txns in sorted(self._batches_since.items())
+            if self._last_stable < seq <= sequence
+        )
+        record = CheckpointRecord(
+            sequence=sequence,
+            state_digest=sha256(f"stable-{sequence}".encode()),
+            batches=covered,
+        )
+        self._stable[sequence] = record
+        self._last_stable = sequence
+        # Truncate the log: anything at or below the stable point is garbage-collected.
+        for seq in [s for s in self._batches_since if s <= sequence]:
+            del self._batches_since[seq]
+        for seq in [s for s in self._votes if s <= sequence]:
+            del self._votes[seq]
+
+    def stable_record(self, sequence: int) -> CheckpointRecord | None:
+        return self._stable.get(sequence)
+
+    def batches_after(self, sequence: int) -> list[tuple[int, tuple[Transaction, ...]]]:
+        """Committed batches above ``sequence`` still held in the log."""
+        return [(seq, txns) for seq, txns in sorted(self._batches_since.items()) if seq > sequence]
+
+    @property
+    def log_size(self) -> int:
+        """Number of batches retained since the last stable checkpoint."""
+        return len(self._batches_since)

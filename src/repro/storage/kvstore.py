@@ -1,0 +1,141 @@
+"""YCSB-style partitioned key-value store.
+
+The paper's evaluation uses a YCSB table with an active set of 600k records;
+each shard manages a unique partition of the data and every replica of a
+shard keeps an identical copy of that partition (Section 3, Section 8).
+
+Keys are strings of the form ``"user<N>"``; partitioning is by key range so
+that the owner shard of any key can be computed locally by any replica
+(needed for deterministic transactions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+
+def ycsb_key(index: int) -> str:
+    """Canonical YCSB record name for row ``index``."""
+    return f"user{index}"
+
+
+@dataclass
+class KeyValueStore:
+    """One replica's copy of its shard's partition."""
+
+    shard_id: int
+    _data: dict[str, str] = field(default_factory=dict)
+    _version: dict[str, int] = field(default_factory=dict)
+
+    def load(self, records: dict[str, str]) -> None:
+        """Bulk-load the initial table contents (identical on every replica)."""
+        self._data.update(records)
+        for key in records:
+            self._version.setdefault(key, 0)
+
+    def replace(self, records: dict[str, str]) -> None:
+        """Replace the whole partition with ``records`` (state transfer install).
+
+        Versions are reset: after a state transfer the replica adopts the
+        peer's values wholesale, and subsequent writes restart versioning.
+        """
+        self._data = dict(records)
+        self._version = {key: 0 for key in records}
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def read(self, key: str) -> str:
+        if key not in self._data:
+            raise StorageError(f"key {key!r} is not stored in shard {self.shard_id}")
+        return self._data[key]
+
+    def write(self, key: str, value: str) -> None:
+        if key not in self._data:
+            # Blind inserts are allowed: YCSB's insert operation creates rows.
+            self._version[key] = 0
+        self._data[key] = value
+        self._version[key] = self._version.get(key, 0) + 1
+
+    def version(self, key: str) -> int:
+        """Number of committed writes applied to ``key`` (0 for never-written)."""
+        return self._version.get(key, 0)
+
+    def snapshot_digest_input(self) -> bytes:
+        """Stable byte representation of the full state, used for checkpoints."""
+        parts = [f"{k}={v}#{self._version.get(k, 0)}" for k, v in sorted(self._data.items())]
+        return "|".join(parts).encode()
+
+    def items(self) -> dict[str, str]:
+        return dict(self._data)
+
+
+class ShardedKeyValueStore:
+    """Global view of the partitioned table: maps keys to owner shards.
+
+    This object is *logical* -- it never holds data itself.  It is used by
+    workload generators and clients to build deterministic transactions whose
+    operations carry the correct owner shard, and by the harness to build each
+    replica's initial partition.
+    """
+
+    def __init__(self, shard_ids: tuple[int, ...] | list[int], num_records: int) -> None:
+        if not shard_ids:
+            raise StorageError("at least one shard is required")
+        if num_records <= 0:
+            raise StorageError("num_records must be positive")
+        self._shard_ids = tuple(shard_ids)
+        self._num_records = num_records
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shard_ids)
+
+    def owner_of(self, record_index: int) -> int:
+        """Owner shard of record ``record_index`` (range partitioning)."""
+        if not 0 <= record_index < self._num_records:
+            raise StorageError(f"record index {record_index} outside [0, {self._num_records})")
+        per_shard = self._records_per_shard()
+        position = min(record_index // per_shard, self.num_shards - 1)
+        return self._shard_ids[position]
+
+    def owner_of_key(self, key: str) -> int:
+        if not key.startswith("user"):
+            raise StorageError(f"not a YCSB key: {key!r}")
+        return self.owner_of(int(key[len("user"):]))
+
+    def _records_per_shard(self) -> int:
+        return max(1, self._num_records // self.num_shards)
+
+    def records_for(self, shard_id: int) -> range:
+        """Range of record indices owned by ``shard_id``."""
+        if shard_id not in self._shard_ids:
+            raise StorageError(f"unknown shard {shard_id}")
+        position = self._shard_ids.index(shard_id)
+        per_shard = self._records_per_shard()
+        start = position * per_shard
+        if position == self.num_shards - 1:
+            end = self._num_records
+        else:
+            end = min(self._num_records, (position + 1) * per_shard)
+        return range(start, end)
+
+    def local_record(self, shard_id: int, offset: int) -> str:
+        """The ``offset``-th key owned by ``shard_id`` (wraps around)."""
+        records = self.records_for(shard_id)
+        if len(records) == 0:
+            raise StorageError(f"shard {shard_id} owns no records")
+        return ycsb_key(records[offset % len(records)])
+
+    def build_partition(self, shard_id: int, initial_value: str = "init") -> dict[str, str]:
+        """Initial contents of ``shard_id``'s partition, identical on every replica."""
+        return {ycsb_key(i): initial_value for i in self.records_for(shard_id)}

@@ -1,0 +1,12 @@
+"""Transactions, read/write sets, and ring-order topology."""
+
+from repro.txn.transaction import Operation, OpType, Transaction, TransactionBuilder
+from repro.txn.ring import RingTopology
+
+__all__ = [
+    "Operation",
+    "OpType",
+    "Transaction",
+    "TransactionBuilder",
+    "RingTopology",
+]

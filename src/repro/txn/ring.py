@@ -1,0 +1,98 @@
+"""Ring topology and ring-order routing (Section 3, *Ring Order*).
+
+Shards are logically arranged in a ring.  For a cross-shard transaction the
+*route* is the subsequence of the ring restricted to the involved shards; the
+first shard on the route is the *initiator*.  The default policy orders
+shards by ascending identifier, but RingBFT explicitly allows any fixed
+permutation, which :class:`RingTopology` supports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class RingTopology:
+    """A fixed permutation of shard identifiers defining the ring order."""
+
+    def __init__(self, order: Sequence[int]) -> None:
+        if not order:
+            raise ConfigurationError("ring order must contain at least one shard")
+        if len(set(order)) != len(order):
+            raise ConfigurationError(f"ring order contains duplicate shards: {order}")
+        self._order: tuple[int, ...] = tuple(int(s) for s in order)
+        self._position: dict[int, int] = {shard: i for i, shard in enumerate(self._order)}
+
+    @classmethod
+    def ascending(cls, shard_ids: Iterable[int]) -> "RingTopology":
+        """The paper's default policy: increasing shard identifiers."""
+        return cls(sorted(shard_ids))
+
+    @property
+    def order(self) -> tuple[int, ...]:
+        return self._order
+
+    @property
+    def size(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, shard: int) -> bool:
+        return shard in self._position
+
+    def position(self, shard: int) -> int:
+        """Ring position of ``shard`` (0-based)."""
+        self._require_member(shard)
+        return self._position[shard]
+
+    def _require_member(self, shard: int) -> None:
+        if shard not in self._position:
+            raise ConfigurationError(f"shard {shard} is not part of the ring {self._order}")
+
+    def _require_involved(self, involved: frozenset[int] | set[int]) -> list[int]:
+        missing = [s for s in involved if s not in self._position]
+        if missing:
+            raise ConfigurationError(f"involved shards {missing} are not part of the ring")
+        if not involved:
+            raise ConfigurationError("a transaction must involve at least one shard")
+        return sorted(involved, key=self._position.__getitem__)
+
+    def route(self, involved: frozenset[int] | set[int]) -> tuple[int, ...]:
+        """Involved shards sorted by ring position -- the path one rotation takes."""
+        return tuple(self._require_involved(involved))
+
+    def first_in_ring_order(self, involved: frozenset[int] | set[int]) -> int:
+        """The initiator shard for a transaction involving ``involved``."""
+        return self._require_involved(involved)[0]
+
+    def last_in_ring_order(self, involved: frozenset[int] | set[int]) -> int:
+        return self._require_involved(involved)[-1]
+
+    def next_in_ring_order(self, current: int, involved: frozenset[int] | set[int]) -> int:
+        """Shard following ``current`` on the route; wraps to the initiator.
+
+        The wrap-around is what closes the first rotation: the last involved
+        shard forwards back to the initiator, which learns that every shard
+        locked its fragment.
+        """
+        ordered = self._require_involved(involved)
+        if current not in ordered:
+            raise ConfigurationError(f"shard {current} is not involved in {sorted(involved)}")
+        idx = ordered.index(current)
+        return ordered[(idx + 1) % len(ordered)]
+
+    def prev_in_ring_order(self, current: int, involved: frozenset[int] | set[int]) -> int:
+        """Shard preceding ``current`` on the route; wraps to the last shard."""
+        ordered = self._require_involved(involved)
+        if current not in ordered:
+            raise ConfigurationError(f"shard {current} is not involved in {sorted(involved)}")
+        idx = ordered.index(current)
+        return ordered[(idx - 1) % len(ordered)]
+
+    def is_initiator(self, shard: int, involved: frozenset[int] | set[int]) -> bool:
+        return self.first_in_ring_order(involved) == shard
+
+    def rotation_length(self, involved: frozenset[int] | set[int]) -> int:
+        """Number of shard-to-shard hops in one full rotation over the route."""
+        return len(self._require_involved(involved))

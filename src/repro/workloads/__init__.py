@@ -1,0 +1,11 @@
+"""Workload generation: YCSB-style transactions and open-loop client drivers."""
+
+from repro.workloads.ycsb import YcsbWorkloadGenerator, ZipfianGenerator
+from repro.workloads.clients import ClosedLoopDriver, OpenLoopDriver
+
+__all__ = [
+    "YcsbWorkloadGenerator",
+    "ZipfianGenerator",
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+]

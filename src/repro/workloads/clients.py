@@ -1,0 +1,106 @@
+"""Client drivers feeding generated workloads into a simulated cluster.
+
+Two driving modes are provided:
+
+* :class:`ClosedLoopDriver` keeps a fixed number of transactions in flight per
+  client -- the classical way to saturate a consensus pipeline, used by the
+  protocol-mode benchmarks and the fault experiments.
+* :class:`OpenLoopDriver` injects transactions at a fixed offered rate,
+  regardless of completions -- used to study overload behaviour (the paper's
+  client-scaling experiment, Figure 8 XI-XII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster import Cluster
+from repro.workloads.ycsb import YcsbWorkloadGenerator
+
+
+@dataclass
+class ClosedLoopDriver:
+    """Keeps ``window`` transactions outstanding per client until ``total`` complete."""
+
+    cluster: Cluster
+    generator: YcsbWorkloadGenerator
+    total: int
+    window: int = 4
+    submitted: int = 0
+    _client_ids: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._client_ids = list(self.cluster.clients)
+
+    def start(self) -> None:
+        """Prime every client's window and install completion callbacks."""
+        for client_id in self._client_ids:
+            for _ in range(self.window):
+                self._submit_next(client_id)
+        self._arm_poll()
+
+    def _submit_next(self, client_id: str) -> None:
+        if self.submitted >= self.total:
+            return
+        txn = self.generator.generate(1, client_id)[0]
+        self.cluster.submit(txn, client_id)
+        self.submitted += 1
+
+    def _arm_poll(self) -> None:
+        self.cluster.simulator.schedule(0.05, self._poll)
+
+    def _poll(self) -> None:
+        """Refill client windows as transactions complete."""
+        if self.completed >= self.total:
+            return
+        for client_id in self._client_ids:
+            client = self.cluster.clients[client_id]
+            while client.outstanding < self.window and self.submitted < self.total:
+                self._submit_next(client_id)
+        self._arm_poll()
+
+    @property
+    def completed(self) -> int:
+        return self.cluster.completed_transactions()
+
+    def run(self, timeout: float = 300.0) -> int:
+        """Drive the workload until ``total`` transactions complete (or timeout)."""
+        self.start()
+        deadline = self.cluster.simulator.now + timeout
+        while self.completed < self.total and self.cluster.simulator.now < deadline:
+            if not self.cluster.simulator.step():
+                break
+        return self.completed
+
+
+@dataclass
+class OpenLoopDriver:
+    """Submits transactions at ``rate_per_second`` spread over all clients."""
+
+    cluster: Cluster
+    generator: YcsbWorkloadGenerator
+    rate_per_second: float
+    duration: float
+    submitted: int = 0
+
+    def start(self) -> None:
+        interval = 1.0 / self.rate_per_second
+        client_ids = list(self.cluster.clients)
+        total = int(self.rate_per_second * self.duration)
+        for i in range(total):
+            client_id = client_ids[i % len(client_ids)]
+            self.cluster.simulator.schedule(i * interval, self._make_submit(client_id))
+
+    def _make_submit(self, client_id: str):
+        def _submit() -> None:
+            txn = self.generator.generate(1, client_id)[0]
+            self.cluster.submit(txn, client_id)
+            self.submitted += 1
+
+        return _submit
+
+    def run(self, extra_drain: float = 30.0) -> int:
+        """Inject for ``duration`` seconds, then drain, returning completions."""
+        self.start()
+        self.cluster.run(duration=self.duration + extra_drain)
+        return self.cluster.completed_transactions()

@@ -1,0 +1,196 @@
+"""YCSB-style workload generator (Section 8, *Benchmark*).
+
+The paper drives every experiment with the Yahoo Cloud Serving Benchmark from
+the BlockBench suite: an active set of 600k records accessed by
+read-modify-write transactions.  The generator reproduces the knobs the
+evaluation sweeps:
+
+* fraction of cross-shard transactions (Figure 8 V-VI),
+* number of involved shards per cross-shard transaction (Figure 8 IX-X),
+* number of remote-read dependencies, making transactions *complex*
+  (Figure 10),
+* key skew via a standard YCSB Zipfian distribution (conflict rate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.config import WorkloadConfig
+from repro.errors import WorkloadError
+from repro.storage.kvstore import ShardedKeyValueStore
+from repro.txn.ring import RingTopology
+from repro.txn.transaction import Operation, OpType, Transaction
+
+
+class ZipfianGenerator:
+    """Zipfian integer generator over ``[0, n)`` with skew ``theta``.
+
+    ``theta = 0`` degenerates to the uniform distribution.  The implementation
+    follows the classic Gray et al. rejection-free formulation used by YCSB.
+    """
+
+    def __init__(self, n: int, theta: float, rng: random.Random) -> None:
+        if n <= 0:
+            raise WorkloadError("Zipfian range must be positive")
+        if theta < 0 or theta >= 1.0:
+            raise WorkloadError("Zipfian theta must lie in [0, 1)")
+        self._n = n
+        self._theta = theta
+        self._rng = rng
+        if theta > 0:
+            self._zetan = self._zeta(n, theta)
+            self._zeta2 = self._zeta(2, theta)
+            self._alpha = 1.0 / (1.0 - theta)
+            self._eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        if self._theta == 0:
+            return self._rng.randrange(self._n)
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self._theta:
+            return 1
+        return int(self._n * (self._eta * u - self._eta + 1) ** self._alpha)
+
+
+@dataclass
+class WorkloadMix:
+    """Summary of the generated mix, useful for sanity checks in tests."""
+
+    total: int
+    cross_shard: int
+    complex_txns: int
+
+    @property
+    def cross_shard_fraction(self) -> float:
+        return self.cross_shard / self.total if self.total else 0.0
+
+
+class YcsbWorkloadGenerator:
+    """Generates deterministic YCSB transactions for a sharded deployment."""
+
+    def __init__(
+        self,
+        table: ShardedKeyValueStore,
+        ring: RingTopology,
+        config: WorkloadConfig,
+        *,
+        seed: int | None = None,
+    ) -> None:
+        self._table = table
+        self._ring = ring
+        self._config = config
+        self._rng = random.Random(seed if seed is not None else config.seed)
+        self._counter = 0
+        records_per_shard = max(1, table.num_records // table.num_shards)
+        self._zipf = ZipfianGenerator(records_per_shard, config.zipf_theta, self._rng)
+        self.last_mix = WorkloadMix(total=0, cross_shard=0, complex_txns=0)
+
+    # ------------------------------------------------------------------
+    # key selection
+    # ------------------------------------------------------------------
+
+    def _local_key(self, shard: int) -> str:
+        """Pick one record owned by ``shard`` using the configured skew."""
+        return self._table.local_record(shard, self._zipf.next())
+
+    def _pick_involved_shards(self, forced_count: int | None = None) -> list[int]:
+        """Pick consecutive shards in ring order, as the paper's clients do."""
+        order = self._ring.order
+        count = forced_count if forced_count is not None else self._config.involved_shards
+        if count <= 0 or count > len(order):
+            count = len(order)
+        if count == len(order):
+            return list(order)
+        start = self._rng.randrange(len(order))
+        return [order[(start + i) % len(order)] for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # transaction construction
+    # ------------------------------------------------------------------
+
+    def next_id(self, client_id: str) -> str:
+        self._counter += 1
+        return f"{client_id}-txn-{self._counter}"
+
+    def single_shard_transaction(self, client_id: str, shard: int | None = None) -> Transaction:
+        """A read-modify-write of one record on one shard."""
+        target = shard if shard is not None else self._rng.choice(self._ring.order)
+        key = self._local_key(target)
+        txn_id = self.next_id(client_id)
+        ops = (
+            Operation(shard=target, key=key, op_type=OpType.READ),
+            Operation(shard=target, key=key, op_type=OpType.WRITE, value=f"{txn_id}-value"),
+        )
+        return Transaction(txn_id=txn_id, client_id=client_id, operations=ops)
+
+    def cross_shard_transaction(
+        self,
+        client_id: str,
+        involved: list[int] | None = None,
+        remote_reads: int | None = None,
+    ) -> Transaction:
+        """A cross-shard transaction accessing one record per involved shard.
+
+        The paper's standard setting accesses one key-value pair per involved
+        region; ``remote_reads`` cross-shard dependencies turn the transaction
+        into a *complex* one that needs the second rotation's write sets.
+        """
+        shards = involved if involved is not None else self._pick_involved_shards()
+        if len(shards) < 2:
+            return self.single_shard_transaction(client_id, shards[0] if shards else None)
+        txn_id = self.next_id(client_id)
+        keys = {shard: self._local_key(shard) for shard in shards}
+        dependency_budget = remote_reads if remote_reads is not None else self._config.remote_reads
+        operations: list[Operation] = []
+        for shard in shards:
+            key = keys[shard]
+            operations.append(Operation(shard=shard, key=key, op_type=OpType.READ))
+            deps: list[tuple[int, str]] = []
+            for _ in range(self._per_shard_dependencies(dependency_budget, len(shards))):
+                other = self._rng.choice([s for s in shards if s != shard])
+                deps.append((other, keys[other]))
+            operations.append(
+                Operation(
+                    shard=shard,
+                    key=key,
+                    op_type=OpType.WRITE,
+                    value=f"{txn_id}-value",
+                    depends_on=tuple(deps),
+                )
+            )
+        return Transaction(txn_id=txn_id, client_id=client_id, operations=tuple(operations))
+
+    def _per_shard_dependencies(self, total_dependencies: int, num_shards: int) -> int:
+        """Spread the remote-read budget roughly evenly across involved shards."""
+        if total_dependencies <= 0:
+            return 0
+        base = total_dependencies // num_shards
+        if self._rng.random() < (total_dependencies % num_shards) / num_shards:
+            base += 1
+        return base
+
+    def generate(self, count: int, client_id: str = "client-0") -> list[Transaction]:
+        """Generate ``count`` transactions following the configured mix."""
+        transactions: list[Transaction] = []
+        cross = 0
+        complex_count = 0
+        for _ in range(count):
+            if self._rng.random() < self._config.cross_shard_fraction and self._ring.size > 1:
+                txn = self.cross_shard_transaction(client_id)
+                cross += 1
+            else:
+                txn = self.single_shard_transaction(client_id)
+            if txn.is_complex:
+                complex_count += 1
+            transactions.append(txn)
+        self.last_mix = WorkloadMix(total=count, cross_shard=cross, complex_txns=complex_count)
+        return transactions

@@ -1,0 +1,169 @@
+"""Integration tests: the AHL and Sharper baseline protocols."""
+
+from repro.baselines.ahl.replica import AhlReplica
+from repro.baselines.sharper.replica import SharperReplica
+from repro.common.messages import batch_digest, ClientRequest
+from repro.txn.transaction import TransactionBuilder
+
+from tests.conftest import build_cluster
+
+
+def _cross_txn(cluster, shards, txn_id):
+    builder = TransactionBuilder(txn_id, "client-0")
+    for shard in shards:
+        key = cluster.table.local_record(shard, 2)
+        builder.read_modify_write(shard, key, f"{txn_id}@{shard}")
+    return builder.build()
+
+
+def _single_txn(cluster, shard, txn_id):
+    key = cluster.table.local_record(shard, 3)
+    return TransactionBuilder(txn_id, "client-0").read_modify_write(shard, key, f"{txn_id}-v").build()
+
+
+class TestAhl:
+    def test_cross_shard_transaction_completes_via_committee(self):
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        txn = _cross_txn(cluster, (1, 2), "ahl-cst")
+        cluster.submit(txn)
+        assert cluster.run_until_clients_done(timeout=120.0)
+        assert cluster.completed_transactions() == 1
+        # The committee (shard 0) exchanged 2PC traffic even though it owns no data.
+        committee_msgs = cluster.primary_of(0).stats.sent_count
+        assert "Prepare2PC" in committee_msgs
+        assert "Decide2PC" in committee_msgs
+
+    def test_involved_shards_execute_after_decision(self):
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        txn = _cross_txn(cluster, (1, 2), "ahl-exec")
+        cluster.submit(txn)
+        assert cluster.run_until_clients_done(timeout=120.0)
+        cluster.run(duration=cluster.simulator.now + 5.0)
+        for shard in (1, 2):
+            key = next(iter(txn.keys_for(shard)))
+            for replica in cluster.shard_replicas(shard):
+                assert replica.store.read(key) == f"ahl-exec@{shard}"
+                assert replica.locks.locked_key_count == 0
+
+    def test_committee_member_shard_can_also_own_data(self):
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        txn = _cross_txn(cluster, (0, 2), "ahl-committee-data")
+        cluster.submit(txn)
+        assert cluster.run_until_clients_done(timeout=120.0)
+        key = next(iter(txn.keys_for(0)))
+        for replica in cluster.shard_replicas(0):
+            assert replica.store.read(key) == "ahl-committee-data@0"
+
+    def test_single_shard_transactions_bypass_the_committee(self):
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        cluster.submit(_single_txn(cluster, 2, "ahl-single"))
+        assert cluster.run_until_clients_done(timeout=60.0)
+        committee_primary = cluster.primary_of(0)
+        assert "Prepare2PC" not in committee_primary.stats.sent_count
+
+    def test_ahl_record_tracks_votes_per_shard(self):
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        txn = _cross_txn(cluster, (1, 2), "ahl-record")
+        request = ClientRequest(sender="client-0", transaction=txn)
+        digest = batch_digest((request,))
+        cluster.submit(txn)
+        assert cluster.run_until_clients_done(timeout=120.0)
+        record = cluster.primary_of(0).ahl_record(digest)
+        assert record is not None
+        assert record.decision_sent
+        assert set(record.shard_votes) == {1, 2}
+
+    def test_cross_shard_uses_all_to_all_communication(self):
+        # Every committee replica sends Prepare2PC to every replica of every
+        # involved shard: message counts are quadratic, unlike RingBFT.
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        cluster.submit(_cross_txn(cluster, (1, 2), "ahl-quadratic"))
+        assert cluster.run_until_clients_done(timeout=120.0)
+        counts = cluster.message_counts()
+        assert counts["Prepare2PC"] == 4 * 8  # 4 committee replicas x 8 involved replicas
+
+    def test_multiple_cross_shard_transactions(self):
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        for i in range(4):
+            cluster.submit(_cross_txn(cluster, (1, 2), f"ahl-multi-{i}"))
+        assert cluster.run_until_clients_done(timeout=200.0)
+        assert cluster.completed_transactions() == 4
+        assert cluster.ledgers_consistent(1) and cluster.ledgers_consistent(2)
+
+
+class TestSharper:
+    def test_cross_shard_transaction_completes(self):
+        cluster = build_cluster(num_shards=3, replica_class=SharperReplica)
+        txn = _cross_txn(cluster, (0, 1, 2), "sharper-cst")
+        cluster.submit(txn)
+        assert cluster.run_until_clients_done(timeout=120.0)
+        assert cluster.completed_transactions() == 1
+
+    def test_all_involved_shards_execute(self):
+        cluster = build_cluster(num_shards=3, replica_class=SharperReplica)
+        txn = _cross_txn(cluster, (0, 1, 2), "sharper-exec")
+        cluster.submit(txn)
+        assert cluster.run_until_clients_done(timeout=120.0)
+        cluster.run(duration=cluster.simulator.now + 5.0)
+        for shard in (0, 1, 2):
+            key = next(iter(txn.keys_for(shard)))
+            for replica in cluster.shard_replicas(shard):
+                assert replica.store.read(key) == f"sharper-exec@{shard}"
+
+    def test_global_quadratic_communication(self):
+        # Sharper's cross-shard prepare is all-to-all among every replica of
+        # every involved shard: 12 replicas each broadcasting to 12 -> 132
+        # network sends (self-delivery is local).
+        cluster = build_cluster(num_shards=3, replica_class=SharperReplica)
+        cluster.submit(_cross_txn(cluster, (0, 1, 2), "sharper-quadratic"))
+        assert cluster.run_until_clients_done(timeout=120.0)
+        counts = cluster.message_counts()
+        assert counts["CrossPrepare"] == 12 * 11
+        assert counts["CrossCommit"] == 12 * 11
+
+    def test_sharper_sends_more_cross_messages_than_ringbft(self):
+        sharper = build_cluster(num_shards=3, replica_class=SharperReplica)
+        sharper.submit(_cross_txn(sharper, (0, 1, 2), "compare-sharper"))
+        assert sharper.run_until_clients_done(timeout=120.0)
+
+        ring = build_cluster(num_shards=3)
+        ring.submit(_cross_txn(ring, (0, 1, 2), "compare-ring"))
+        assert ring.run_until_clients_done(timeout=120.0)
+        ring.run(duration=ring.simulator.now + 5.0)
+
+        sharper_cross = sum(
+            count
+            for name, count in sharper.message_counts().items()
+            if name in ("CrossPropose", "CrossPrepare", "CrossCommit")
+        )
+        ring_cross = sum(
+            count
+            for name, count in ring.message_counts().items()
+            if name in ("Forward", "Execute")
+        )
+        assert sharper_cross > ring_cross
+
+    def test_single_shard_transactions_run_plain_pbft(self):
+        cluster = build_cluster(num_shards=3, replica_class=SharperReplica)
+        cluster.submit(_single_txn(cluster, 1, "sharper-single"))
+        assert cluster.run_until_clients_done(timeout=60.0)
+        counts = cluster.message_counts()
+        assert "CrossPropose" not in counts
+
+    def test_initiator_shard_record_state(self):
+        cluster = build_cluster(num_shards=3, replica_class=SharperReplica)
+        txn = _cross_txn(cluster, (1, 2), "sharper-record")
+        request = ClientRequest(sender="client-0", transaction=txn)
+        digest = batch_digest((request,))
+        cluster.submit(txn)
+        assert cluster.run_until_clients_done(timeout=120.0)
+        record = cluster.primary_of(1).sharper_record(digest)
+        assert record is not None
+        assert record.committed and record.executed
+
+    def test_multiple_cross_shard_transactions(self):
+        cluster = build_cluster(num_shards=3, replica_class=SharperReplica)
+        for i in range(4):
+            cluster.submit(_cross_txn(cluster, (0, 1), f"sharper-multi-{i}"))
+        assert cluster.run_until_clients_done(timeout=200.0)
+        assert cluster.completed_transactions() == 4

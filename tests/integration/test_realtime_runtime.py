@@ -1,0 +1,120 @@
+"""Integration tests: the asyncio real-time runtime (same protocol code, real clock)."""
+
+import asyncio
+
+import pytest
+
+from repro.config import SystemConfig, WorkloadConfig
+from repro.core.replica import RingBftReplica
+from repro.errors import SimulationError
+from repro.rt.runtime import RealTimeCluster
+from repro.rt.transport import RealTimeScheduler
+from repro.txn.transaction import TransactionBuilder
+
+
+def _config(num_shards=2):
+    return SystemConfig.uniform(
+        num_shards,
+        4,
+        workload=WorkloadConfig(num_records=200, batch_size=1, num_clients=1),
+    )
+
+
+def _cluster(num_shards=2, **kwargs):
+    return RealTimeCluster(
+        _config(num_shards),
+        replica_class=RingBftReplica,
+        time_scale=0.02,
+        latency_scale=0.02,
+        **kwargs,
+    )
+
+
+class TestRealTimeScheduler:
+    def test_schedule_and_now(self):
+        async def scenario():
+            scheduler = RealTimeScheduler(asyncio.get_event_loop(), time_scale=0.01)
+            fired = []
+            scheduler.schedule(0.5, lambda: fired.append(scheduler.now))
+            await asyncio.sleep(0.05)
+            return fired
+
+        fired = asyncio.run(scenario())
+        assert len(fired) == 1
+        assert fired[0] >= 0.5  # protocol time, despite the compressed real delay
+
+    def test_cancelled_timer_does_not_fire(self):
+        async def scenario():
+            scheduler = RealTimeScheduler(asyncio.get_event_loop(), time_scale=0.01)
+            fired = []
+            handle = scheduler.schedule(0.5, lambda: fired.append("x"))
+            handle.cancel()
+            await asyncio.sleep(0.03)
+            return fired, handle.cancelled
+
+        fired, cancelled = asyncio.run(scenario())
+        assert fired == []
+        assert cancelled
+
+    def test_negative_delay_and_bad_scale_rejected(self):
+        async def scenario():
+            scheduler = RealTimeScheduler(asyncio.get_event_loop())
+            with pytest.raises(SimulationError):
+                scheduler.schedule(-1.0, lambda: None)
+
+        asyncio.run(scenario())
+        with pytest.raises(SimulationError):
+            asyncio.run(self._bad_scale())
+
+    @staticmethod
+    async def _bad_scale():
+        RealTimeScheduler(asyncio.get_event_loop(), time_scale=0.0)
+
+
+class TestRealTimeCluster:
+    def test_single_shard_transaction_completes_in_real_time(self):
+        cluster = _cluster(num_shards=1)
+        txn = (
+            TransactionBuilder("rt-single", "client-0")
+            .read_modify_write(0, "user3", "real-time-value")
+            .build()
+        )
+        result = cluster.run_workload([txn], timeout=10.0)
+        assert result.all_completed
+        assert result.wall_clock_seconds < 10.0
+        assert all(
+            replica.store.read("user3") == "real-time-value"
+            for replica in cluster.shard_replicas(0)
+        )
+
+    def test_cross_shard_transaction_travels_the_ring(self):
+        cluster = _cluster(num_shards=2)
+        txn = (
+            TransactionBuilder("rt-cross", "client-0")
+            .read_modify_write(0, "user3", "rt@0")
+            .read_modify_write(1, "user150", "rt@1")
+            .build()
+        )
+        result = cluster.run_workload([txn], timeout=20.0)
+        assert result.all_completed
+        counts = cluster.message_counts()
+        assert counts.get("Forward", 0) > 0
+        assert counts.get("Execute", 0) > 0
+        for shard, key, value in ((0, "user3", "rt@0"), (1, "user150", "rt@1")):
+            assert all(r.store.read(key) == value for r in cluster.shard_replicas(shard))
+
+    def test_small_mixed_workload_and_metrics(self):
+        cluster = _cluster(num_shards=2, num_clients=2)
+        transactions = []
+        for i in range(4):
+            transactions.append(
+                TransactionBuilder(f"rt-mix-{i}", f"client-{i % 2}")
+                .read_modify_write(i % 2, f"user{3 + i}", f"v{i}")
+                .build()
+            )
+        result = cluster.run_workload(transactions, timeout=20.0)
+        assert result.all_completed
+        assert result.throughput_tps > 0
+        assert result.avg_latency > 0
+        for shard in (0, 1):
+            assert cluster.ledgers_consistent(shard)

@@ -1,0 +1,100 @@
+"""Property-based end-to-end tests: random workloads through the simulator.
+
+Each example builds a small RingBFT deployment, submits a randomly generated
+mix of single-shard and cross-shard (possibly conflicting, possibly complex)
+transactions, runs the simulation to quiescence, and checks the paper's
+correctness properties:
+
+* Termination / involvement: every submitted transaction completes at the client.
+* Non-divergence: all replicas of a shard execute the same order (identical
+  ledgers).
+* Consistence: conflicting cross-shard transactions appear in the same order
+  in the ledgers of all involved shards' replicas.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.txn.transaction import TransactionBuilder
+
+from tests.conftest import build_cluster
+
+NUM_SHARDS = 3
+KEYS_PER_SHARD = 3
+
+
+@st.composite
+def workloads(draw):
+    """A list of transaction specs: (involved shards, key index, complex?)."""
+    count = draw(st.integers(min_value=1, max_value=6))
+    specs = []
+    for _ in range(count):
+        involved = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=NUM_SHARDS - 1),
+                min_size=1,
+                max_size=NUM_SHARDS,
+                unique=True,
+            )
+        )
+        key_index = draw(st.integers(min_value=0, max_value=KEYS_PER_SHARD - 1))
+        complex_txn = draw(st.booleans()) and len(involved) > 1
+        specs.append((tuple(sorted(involved)), key_index, complex_txn))
+    return specs
+
+
+def _build_txn(cluster, spec, index):
+    involved, key_index, complex_txn = spec
+    builder = TransactionBuilder(f"prop-{index}", "client-0")
+    keys = {shard: cluster.table.local_record(shard, key_index) for shard in involved}
+    for shard in involved:
+        builder.read(shard, keys[shard])
+        deps = ()
+        if complex_txn:
+            others = [s for s in involved if s != shard]
+            if others:
+                deps = ((others[0], keys[others[0]]),)
+        builder.write(shard, keys[shard], f"prop-{index}@{shard}", depends_on=deps)
+    return builder.build()
+
+
+class TestProtocolProperties:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(specs=workloads())
+    def test_random_workloads_terminate_consistently(self, specs):
+        cluster = build_cluster(num_shards=NUM_SHARDS, num_clients=1)
+        transactions = [_build_txn(cluster, spec, i) for i, spec in enumerate(specs)]
+        for txn in transactions:
+            cluster.submit(txn)
+
+        assert cluster.run_until_clients_done(timeout=300.0), "some transaction never completed"
+        cluster.run(duration=cluster.simulator.now + 5.0)
+
+        assert cluster.completed_transactions() == len(transactions)
+
+        txn_ids = {txn.txn_id for txn in transactions}
+        for shard in range(NUM_SHARDS):
+            # Non-divergence: identical ledgers (prefix) per shard.
+            assert cluster.ledgers_consistent(shard)
+            assert cluster.executed_in_same_order(shard, txn_ids)
+            # All locks released at quiescence.
+            for replica in cluster.shard_replicas(shard):
+                assert replica.locks.locked_key_count == 0
+
+        # Consistence for conflicting cross-shard transactions: any pair of
+        # involved shards orders them identically.
+        for i, a in enumerate(transactions):
+            for b in transactions[i + 1:]:
+                if not (a.is_cross_shard and b.is_cross_shard and a.conflicts_with(b)):
+                    continue
+                shared = a.involved_shards & b.involved_shards
+                orders = set()
+                for shard in shared:
+                    for replica in cluster.shard_replicas(shard):
+                        order = tuple(replica.ledger.commit_order({a.txn_id, b.txn_id}))
+                        if len(order) == 2:
+                            orders.add(order)
+                assert len(orders) <= 1, f"conflicting order for {a.txn_id}/{b.txn_id}"

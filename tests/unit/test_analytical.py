@@ -1,0 +1,187 @@
+"""Unit tests for the analytical performance model.
+
+Besides sanity checks, these tests pin the qualitative *shapes* the paper
+reports (who wins, how curves move) so that a regression in the cost models
+is caught even though absolute numbers are not expected to match the paper.
+"""
+
+import pytest
+
+from repro.analytical import (
+    CostParameters,
+    DeploymentSpec,
+    estimate,
+    model_by_name,
+)
+from repro.analytical.costs import NodeWork
+
+
+class TestDeploymentSpec:
+    def test_defaults_match_standard_settings(self):
+        spec = DeploymentSpec()
+        assert spec.num_shards == 15
+        assert spec.replicas_per_shard == 28
+        assert spec.total_replicas == 420
+        assert spec.effective_involved == 15
+
+    def test_effective_involved_clamps(self):
+        assert DeploymentSpec(involved_shards=0).effective_involved == 15
+        assert DeploymentSpec(involved_shards=99).effective_involved == 15
+        assert DeploymentSpec(involved_shards=3).effective_involved == 3
+
+    def test_with_returns_modified_copy(self):
+        spec = DeploymentSpec()
+        other = spec.with_(num_shards=5)
+        assert other.num_shards == 5
+        assert spec.num_shards == 15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentSpec(num_shards=0)
+        with pytest.raises(ValueError):
+            DeploymentSpec(cross_shard_fraction=2.0)
+
+    def test_ring_hops_and_rtt_are_positive(self):
+        spec = DeploymentSpec(num_shards=5)
+        assert spec.average_ring_hop() > 0
+        assert spec.max_region_rtt() >= spec.average_region_rtt() > 0
+        assert len(spec.ring_one_way_delays()) == 5
+
+    def test_faults_per_shard(self):
+        assert DeploymentSpec(replicas_per_shard=28).faults_per_shard == 9
+
+
+class TestCostParameters:
+    def test_batch_message_size_matches_paper_at_batch_100(self):
+        params = CostParameters()
+        assert params.batch_message_size("PrePrepare", 100) == pytest.approx(5408, rel=0.05)
+        assert params.batch_message_size("Forward", 100) == pytest.approx(6147, rel=0.05)
+
+    def test_batch_message_size_scales_with_batch(self):
+        params = CostParameters()
+        assert params.batch_message_size("PrePrepare", 1000) > params.batch_message_size(
+            "PrePrepare", 100
+        )
+
+    def test_fixed_size_messages_do_not_scale(self):
+        params = CostParameters()
+        assert params.batch_message_size("Prepare", 1000) == params.message_size("Prepare")
+
+    def test_node_work_busy_time_includes_overhead(self):
+        params = CostParameters()
+        work = NodeWork(lan_bytes=0, wan_bytes=0, cpu_seconds=0, messages=0)
+        assert work.busy_seconds(params) == pytest.approx(params.per_batch_overhead_s)
+
+    def test_node_work_combinators(self):
+        a = NodeWork(lan_bytes=10, wan_bytes=5, cpu_seconds=1.0, messages=2)
+        b = NodeWork(lan_bytes=1, wan_bytes=1, cpu_seconds=0.5, messages=1)
+        combined = a.plus(b)
+        assert combined.lan_bytes == 11
+        assert combined.messages == 3
+        assert a.scaled(2).cpu_seconds == 2.0
+
+
+class TestModelRegistry:
+    def test_all_paper_protocols_are_available(self):
+        for name in ("RingBFT", "AHL", "Sharper", "Pbft", "Zyzzyva", "Sbft", "PoE", "HotStuff", "Rcc"):
+            assert model_by_name(name).name == name
+
+    def test_lookup_is_case_insensitive(self):
+        assert model_by_name("ringbft").name == "RingBFT"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(KeyError):
+            model_by_name("raft")
+
+
+class TestEstimates:
+    STANDARD = DeploymentSpec()
+
+    def _tput(self, protocol, spec):
+        return estimate(model_by_name(protocol), spec).throughput_tps
+
+    def test_all_protocols_agree_without_cross_shard_transactions(self):
+        spec = self.STANDARD.with_(cross_shard_fraction=0.0)
+        values = [self._tput(p, spec) for p in ("RingBFT", "Sharper", "AHL")]
+        assert max(values) == pytest.approx(min(values), rel=1e-6)
+
+    def test_ringbft_beats_sharper_beats_ahl_on_standard_mix(self):
+        ring = self._tput("RingBFT", self.STANDARD)
+        sharper = self._tput("Sharper", self.STANDARD)
+        ahl = self._tput("AHL", self.STANDARD)
+        assert ring > sharper > ahl
+        # Paper: up to ~4x over Sharper and ~16-18x over AHL at 15 shards.
+        assert ring / sharper > 2.5
+        assert ring / ahl > 8.0
+
+    def test_ringbft_throughput_roughly_flat_in_shard_count(self):
+        few = self._tput("RingBFT", self.STANDARD.with_(num_shards=3))
+        many = self._tput("RingBFT", self.STANDARD.with_(num_shards=15))
+        assert many > 0.7 * few
+
+    def test_baselines_degrade_with_more_shards(self):
+        for protocol in ("Sharper", "AHL"):
+            few = self._tput(protocol, self.STANDARD.with_(num_shards=3))
+            many = self._tput(protocol, self.STANDARD.with_(num_shards=15))
+            assert many < few
+
+    def test_throughput_decreases_with_replicas_per_shard(self):
+        small = self._tput("RingBFT", self.STANDARD.with_(replicas_per_shard=10))
+        large = self._tput("RingBFT", self.STANDARD.with_(replicas_per_shard=28))
+        assert large < small
+
+    def test_throughput_decreases_with_cross_shard_fraction(self):
+        values = [
+            self._tput("RingBFT", self.STANDARD.with_(cross_shard_fraction=x))
+            for x in (0.0, 0.15, 0.30, 0.60, 1.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_throughput_increases_with_batch_size_up_to_saturation(self):
+        small = self._tput("RingBFT", self.STANDARD.with_(batch_size=10))
+        medium = self._tput("RingBFT", self.STANDARD.with_(batch_size=100))
+        large = self._tput("RingBFT", self.STANDARD.with_(batch_size=1500))
+        assert small < medium < large
+
+    def test_latency_increases_with_shard_count(self):
+        few = estimate(model_by_name("RingBFT"), self.STANDARD.with_(num_shards=3)).latency_s
+        many = estimate(model_by_name("RingBFT"), self.STANDARD.with_(num_shards=15)).latency_s
+        assert many > few
+
+    def test_remote_reads_reduce_ringbft_throughput(self):
+        none = self._tput("RingBFT", self.STANDARD.with_(remote_reads=0))
+        many = self._tput("RingBFT", self.STANDARD.with_(remote_reads=64))
+        assert many < none
+        assert many > 0.3 * none  # still "reasonable throughput" (Section 8.8)
+
+    def test_ahl_is_limited_by_its_reference_committee(self):
+        result = estimate(model_by_name("AHL"), self.STANDARD)
+        assert result.bottleneck == "ahl-reference-committee"
+
+    def test_fully_replicated_protocols_scale_poorly_with_replicas(self):
+        for protocol in ("Pbft", "Zyzzyva", "Sbft", "PoE", "HotStuff"):
+            small = self._tput(protocol, DeploymentSpec(num_shards=1, replicas_per_shard=4, cross_shard_fraction=0.0))
+            large = self._tput(protocol, DeploymentSpec(num_shards=1, replicas_per_shard=32, cross_shard_fraction=0.0))
+            assert large < small
+
+    def test_sharded_ringbft_dominates_fully_replicated_protocols(self):
+        ring = self._tput(
+            "RingBFT", DeploymentSpec(num_shards=9, replicas_per_shard=32, cross_shard_fraction=0.0)
+        )
+        for protocol in ("Pbft", "Zyzzyva", "Sbft", "PoE", "HotStuff", "Rcc"):
+            other = self._tput(
+                protocol, DeploymentSpec(num_shards=1, replicas_per_shard=32, cross_shard_fraction=0.0)
+            )
+            assert ring > other
+
+    def test_more_clients_increase_delivered_throughput_until_saturation(self):
+        few = self._tput("RingBFT", self.STANDARD.with_(num_clients=3_000))
+        more = self._tput("RingBFT", self.STANDARD.with_(num_clients=15_000))
+        assert more >= few
+
+    def test_estimate_reports_positive_values_and_details(self):
+        result = estimate(model_by_name("RingBFT"), self.STANDARD)
+        assert result.throughput_tps > 0
+        assert result.latency_s > 0
+        assert "saturation_tps" in result.details
+        assert isinstance(result.as_row()["bottleneck"], str)

@@ -1,0 +1,69 @@
+"""Unit tests for the fault injector (scheduling and state changes)."""
+
+from repro.faults.injector import FaultInjector
+
+from tests.conftest import build_cluster
+
+
+class TestFaultInjector:
+    def test_crash_primary_immediately(self):
+        cluster = build_cluster()
+        injector = FaultInjector(cluster)
+        injector.crash_primary(0)
+        assert cluster.primary_of(0).crashed
+        assert any("crashed primary" in entry for _, entry in injector.log)
+
+    def test_crash_primary_at_future_time(self):
+        cluster = build_cluster()
+        injector = FaultInjector(cluster)
+        injector.crash_primary(1, at=5.0)
+        assert not cluster.primary_of(1).crashed
+        cluster.run(duration=6.0)
+        assert cluster.primary_of(1).crashed
+        assert injector.log[0][0] >= 5.0
+
+    def test_crash_and_recover_replica(self):
+        cluster = build_cluster()
+        injector = FaultInjector(cluster)
+        injector.crash_replica(0, 2)
+        assert cluster.replica(0, 2).crashed
+        injector.recover_replica(0, 2)
+        assert not cluster.replica(0, 2).crashed
+
+    def test_silence_primary_sets_flag(self):
+        cluster = build_cluster()
+        FaultInjector(cluster).silence_primary(0)
+        assert cluster.primary_of(0).byzantine_silent
+
+    def test_dark_attack_limits_victims_to_f(self):
+        cluster = build_cluster()
+        FaultInjector(cluster).dark_attack(0, victims=99)
+        primary = cluster.primary_of(0)
+        assert len(primary.dark_targets) == cluster.directory.quorum(0).f
+        assert primary.replica_id not in primary.dark_targets
+
+    def test_drop_forwards_marks_replicas(self):
+        cluster = build_cluster()
+        FaultInjector(cluster).drop_forwards(0, replicas=2)
+        flags = [r.drop_forwards for r in cluster.shard_replicas(0)]
+        assert flags.count(True) == 2
+
+    def test_block_and_heal_cross_shard_link(self):
+        cluster = build_cluster()
+        injector = FaultInjector(cluster)
+        injector.block_cross_shard_link(0, 1)
+        conditions = cluster.network.conditions
+        blocked = sum(
+            1
+            for src in cluster.directory.replicas_of(0)
+            for dst in cluster.directory.replicas_of(1)
+            if (src, dst) in conditions.blocked_links
+        )
+        assert blocked == 16
+        injector.heal_cross_shard_link(0, 1)
+        assert not conditions.blocked_links
+
+    def test_message_loss_setting(self):
+        cluster = build_cluster()
+        FaultInjector(cluster).set_message_loss(0.25)
+        assert cluster.network.conditions.drop_probability == 0.25

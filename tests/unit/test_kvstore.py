@@ -1,0 +1,116 @@
+"""Unit tests for the partitioned YCSB-style key-value store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.kvstore import KeyValueStore, ShardedKeyValueStore, ycsb_key
+
+
+class TestKeyValueStore:
+    def test_load_and_read(self):
+        store = KeyValueStore(shard_id=0)
+        store.load({"user1": "a", "user2": "b"})
+        assert store.read("user1") == "a"
+        assert len(store) == 2
+
+    def test_read_missing_key_raises(self):
+        store = KeyValueStore(shard_id=0)
+        with pytest.raises(StorageError):
+            store.read("absent")
+
+    def test_write_updates_value_and_version(self):
+        store = KeyValueStore(shard_id=0)
+        store.load({"user1": "a"})
+        assert store.version("user1") == 0
+        store.write("user1", "b")
+        assert store.read("user1") == "b"
+        assert store.version("user1") == 1
+
+    def test_blind_insert_creates_row(self):
+        store = KeyValueStore(shard_id=0)
+        store.write("new-key", "value")
+        assert "new-key" in store
+        assert store.version("new-key") == 1
+
+    def test_snapshot_digest_input_changes_with_state(self):
+        store = KeyValueStore(shard_id=0)
+        store.load({"user1": "a"})
+        before = store.snapshot_digest_input()
+        store.write("user1", "b")
+        assert store.snapshot_digest_input() != before
+
+    def test_items_returns_copy(self):
+        store = KeyValueStore(shard_id=0)
+        store.load({"user1": "a"})
+        items = store.items()
+        items["user1"] = "mutated"
+        assert store.read("user1") == "a"
+
+
+class TestShardedKeyValueStore:
+    def test_ycsb_key_format(self):
+        assert ycsb_key(42) == "user42"
+
+    def test_every_record_has_exactly_one_owner(self):
+        table = ShardedKeyValueStore((0, 1, 2), num_records=300)
+        owners = [table.owner_of(i) for i in range(300)]
+        assert set(owners) == {0, 1, 2}
+        assert owners == sorted(owners)  # range partitioning
+
+    def test_partitions_cover_all_records_without_overlap(self):
+        table = ShardedKeyValueStore((0, 1, 2, 3), num_records=1000)
+        seen = set()
+        for shard in (0, 1, 2, 3):
+            records = set(table.records_for(shard))
+            assert not records & seen
+            seen |= records
+        assert seen == set(range(1000))
+
+    def test_owner_of_key_matches_owner_of_index(self):
+        table = ShardedKeyValueStore((0, 1, 2), num_records=600)
+        assert table.owner_of_key("user250") == table.owner_of(250)
+
+    def test_owner_of_key_rejects_non_ycsb_keys(self):
+        table = ShardedKeyValueStore((0, 1), num_records=10)
+        with pytest.raises(StorageError):
+            table.owner_of_key("not-a-key")
+
+    def test_out_of_range_record_rejected(self):
+        table = ShardedKeyValueStore((0, 1), num_records=10)
+        with pytest.raises(StorageError):
+            table.owner_of(10)
+
+    def test_local_record_wraps_offset(self):
+        table = ShardedKeyValueStore((0, 1, 2), num_records=30)
+        assert table.local_record(1, 0) == table.local_record(1, 10)
+
+    def test_local_record_is_owned_by_requested_shard(self):
+        table = ShardedKeyValueStore((0, 1, 2), num_records=600)
+        for shard in (0, 1, 2):
+            for offset in (0, 7, 199):
+                key = table.local_record(shard, offset)
+                assert table.owner_of_key(key) == shard
+
+    def test_build_partition_contents(self):
+        table = ShardedKeyValueStore((0, 1), num_records=20)
+        partition = table.build_partition(1, initial_value="seed")
+        assert len(partition) == 10
+        assert all(value == "seed" for value in partition.values())
+        assert all(table.owner_of_key(key) == 1 for key in partition)
+
+    def test_non_divisible_record_count_assigns_remainder_to_last_shard(self):
+        table = ShardedKeyValueStore((0, 1, 2), num_records=100)
+        total = sum(len(table.records_for(s)) for s in (0, 1, 2))
+        assert total == 100
+        assert len(table.records_for(2)) >= len(table.records_for(0))
+
+    def test_unknown_shard_rejected(self):
+        table = ShardedKeyValueStore((0, 1), num_records=10)
+        with pytest.raises(StorageError):
+            table.records_for(5)
+
+    def test_constructor_validation(self):
+        with pytest.raises(StorageError):
+            ShardedKeyValueStore((), num_records=10)
+        with pytest.raises(StorageError):
+            ShardedKeyValueStore((0,), num_records=0)

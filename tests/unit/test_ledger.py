@@ -1,0 +1,121 @@
+"""Unit tests for the per-shard partial blockchain."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.storage.ledger import Block, Ledger, genesis_block
+from repro.txn.transaction import TransactionBuilder
+
+
+def _txn(txn_id, shard=0, key="user1"):
+    return TransactionBuilder(txn_id, "client-0").read_modify_write(shard, key, f"{txn_id}-v").build()
+
+
+def _cross_txn(txn_id):
+    return (
+        TransactionBuilder(txn_id, "client-0")
+        .read_modify_write(0, "user1", "a")
+        .read_modify_write(1, "user200", "b")
+        .build()
+    )
+
+
+class TestGenesis:
+    def test_ledger_starts_with_genesis(self):
+        ledger = Ledger(shard_id=3)
+        assert len(ledger) == 1
+        assert ledger.height == 0
+        assert ledger.head.primary == "genesis"
+
+    def test_genesis_is_deterministic_per_shard(self):
+        assert genesis_block(1).block_hash() == genesis_block(1).block_hash()
+
+    def test_genesis_differs_across_shards(self):
+        assert genesis_block(0).block_hash() != genesis_block(1).block_hash()
+
+
+class TestAppend:
+    def test_append_batch_links_to_head(self):
+        ledger = Ledger(shard_id=0)
+        block = ledger.append_batch(1, "r0@S0", [_txn("t1"), _txn("t2")])
+        assert block.height == 1
+        assert block.previous_hash == genesis_block(0).block_hash()
+        assert ledger.head is block
+
+    def test_append_empty_batch_rejected(self):
+        ledger = Ledger(shard_id=0)
+        with pytest.raises(LedgerError):
+            ledger.append_batch(1, "r0@S0", [])
+
+    def test_cross_shard_block_records_involved_shards(self):
+        ledger = Ledger(shard_id=0)
+        block = ledger.append_batch(1, "r0@S0", [_cross_txn("t1")])
+        assert block.is_cross_shard
+        assert block.involved_shards == frozenset({0, 1})
+
+    def test_contains_txn(self):
+        ledger = Ledger(shard_id=0)
+        ledger.append_batch(1, "r0@S0", [_txn("present")])
+        assert ledger.contains_txn("present")
+        assert not ledger.contains_txn("absent")
+
+    def test_block_at_bounds(self):
+        ledger = Ledger(shard_id=0)
+        ledger.append_batch(1, "r0@S0", [_txn("t1")])
+        assert ledger.block_at(1).txn_ids == ("t1",)
+        with pytest.raises(LedgerError):
+            ledger.block_at(5)
+
+    def test_cross_shard_blocks_filter(self):
+        ledger = Ledger(shard_id=0)
+        ledger.append_batch(1, "p", [_txn("a")])
+        ledger.append_batch(2, "p", [_cross_txn("b")])
+        assert [b.txn_ids for b in ledger.cross_shard_blocks()] == [("b",)]
+
+
+class TestChainIntegrity:
+    def test_verify_chain_on_honest_ledger(self):
+        ledger = Ledger(shard_id=0)
+        for i in range(5):
+            ledger.append_batch(i + 1, "p", [_txn(f"t{i}")])
+        assert ledger.verify_chain()
+
+    def test_tampering_with_a_block_is_detected(self):
+        ledger = Ledger(shard_id=0)
+        for i in range(4):
+            ledger.append_batch(i + 1, "p", [_txn(f"t{i}")])
+        blocks = ledger._blocks
+        original = blocks[2]
+        blocks[2] = dataclasses.replace(original, txn_ids=("forged",))
+        assert not ledger.verify_chain()
+
+    def test_appending_block_with_wrong_parent_rejected(self):
+        ledger = Ledger(shard_id=0)
+        ledger.append_batch(1, "p", [_txn("t1")])
+        bogus = Block(
+            height=2,
+            sequence=2,
+            shard_id=0,
+            primary="p",
+            merkle_root=b"\x00" * 32,
+            previous_hash=b"\x11" * 32,
+            txn_ids=("x",),
+            involved_shards=frozenset({0}),
+        )
+        with pytest.raises(LedgerError):
+            ledger._append(bogus)
+
+    def test_commit_order_reflects_block_order(self):
+        ledger = Ledger(shard_id=0)
+        ledger.append_batch(1, "p", [_txn("first")])
+        ledger.append_batch(2, "p", [_txn("second"), _txn("third")])
+        assert ledger.commit_order({"third", "first"}) == ["first", "third"]
+
+    def test_block_hash_covers_transactions(self):
+        ledger_a = Ledger(shard_id=0)
+        ledger_b = Ledger(shard_id=0)
+        ledger_a.append_batch(1, "p", [_txn("t1")])
+        ledger_b.append_batch(1, "p", [_txn("t2")])
+        assert ledger_a.head.block_hash() != ledger_b.head.block_hash()

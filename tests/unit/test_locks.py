@@ -1,0 +1,150 @@
+"""Unit tests for the sequence-ordered lock manager (Section 4.3.5)."""
+
+import pytest
+
+from repro.errors import LockError
+from repro.storage.locks import LockManager
+
+
+class TestBasicLocking:
+    def test_first_sequence_acquires_immediately(self):
+        locks = LockManager(shard_id=0)
+        acquired, unblocked = locks.try_lock(1, "t1", frozenset({"a"}))
+        assert acquired
+        assert unblocked == []
+        assert locks.holder_of("a") == "t1"
+        assert locks.k_max == 1
+
+    def test_out_of_order_sequence_waits(self):
+        locks = LockManager(shard_id=0)
+        acquired, _ = locks.try_lock(2, "t2", frozenset({"b"}))
+        assert not acquired
+        assert locks.pending_sequences == (2,)
+
+    def test_gap_fill_releases_pending(self):
+        locks = LockManager(shard_id=0)
+        locks.try_lock(2, "t2", frozenset({"b"}))
+        acquired, unblocked = locks.try_lock(1, "t1", frozenset({"a"}))
+        assert acquired
+        assert unblocked == ["t2"]
+        assert locks.k_max == 2
+
+    def test_conflicting_pending_transaction_stays_blocked(self):
+        locks = LockManager(shard_id=0)
+        locks.try_lock(1, "t1", frozenset({"a"}))
+        acquired, _ = locks.try_lock(2, "t2", frozenset({"a"}))
+        assert not acquired
+        assert locks.pending_sequences == (2,)
+
+    def test_release_unblocks_conflicting_transaction(self):
+        locks = LockManager(shard_id=0)
+        locks.try_lock(1, "t1", frozenset({"a"}))
+        locks.try_lock(2, "t2", frozenset({"a"}))
+        unblocked = locks.release("t1")
+        assert unblocked == ["t2"]
+        assert locks.holder_of("a") == "t2"
+
+    def test_release_without_holding_raises(self):
+        locks = LockManager(shard_id=0)
+        with pytest.raises(LockError):
+            locks.release("ghost")
+
+    def test_relock_by_same_transaction_is_idempotent(self):
+        locks = LockManager(shard_id=0)
+        locks.try_lock(1, "t1", frozenset({"a"}))
+        acquired, unblocked = locks.try_lock(5, "t1", frozenset({"a"}))
+        assert acquired
+        assert unblocked == []
+
+    def test_reusing_processed_sequence_raises(self):
+        locks = LockManager(shard_id=0)
+        locks.try_lock(1, "t1", frozenset({"a"}))
+        with pytest.raises(LockError):
+            locks.try_lock(1, "t-other", frozenset({"b"}))
+
+    def test_sequence_must_be_positive(self):
+        locks = LockManager(shard_id=0)
+        with pytest.raises(LockError):
+            locks.try_lock(0, "t", frozenset({"a"}))
+
+    def test_empty_key_set_locks_trivially(self):
+        locks = LockManager(shard_id=0)
+        acquired, _ = locks.try_lock(1, "t1", frozenset())
+        assert acquired
+        assert locks.locked_key_count == 0
+
+
+class TestPaperExample44:
+    """The exact scenario of Example 4.4 in the paper.
+
+    T1 accesses item a, T2 item b, T3 item a, T4 item c.  Commits arrive out
+    of order (T2, T3, T4 before T1).  After T1 locks, T2 proceeds, T3 blocks
+    on a, and T4 stays behind T3 in the pending list.
+    """
+
+    def test_example_flow(self):
+        locks = LockManager(shard_id=0)
+        assert not locks.try_lock(2, "T2", frozenset({"b"}))[0]
+        assert not locks.try_lock(3, "T3", frozenset({"a"}))[0]
+        assert not locks.try_lock(4, "T4", frozenset({"c"}))[0]
+        assert locks.pending_sequences == (2, 3, 4)
+
+        acquired, unblocked = locks.try_lock(1, "T1", frozenset({"a"}))
+        assert acquired
+        # T2 is released (distinct data item); T3 conflicts with T1 on a and
+        # stops the drain, keeping T4 behind it.
+        assert unblocked == ["T2"]
+        assert locks.k_max == 2
+        assert locks.pending_sequences == (3, 4)
+
+        # When T1 releases a, T3 and then T4 proceed.
+        unblocked = locks.release("T1")
+        assert unblocked == ["T3", "T4"]
+        assert locks.k_max == 4
+
+
+class TestSkippedSequences:
+    def test_skip_closes_gap(self):
+        locks = LockManager(shard_id=0)
+        locks.try_lock(2, "t2", frozenset({"b"}))
+        unblocked = locks.skip_sequence(1)
+        assert unblocked == ["t2"]
+        assert locks.k_max == 2
+
+    def test_skip_future_sequence_applies_when_reached(self):
+        locks = LockManager(shard_id=0)
+        assert locks.skip_sequence(2) == []
+        acquired, unblocked = locks.try_lock(1, "t1", frozenset({"a"}))
+        assert acquired
+        assert locks.k_max == 2  # sequence 2 was consumed as a no-op
+        assert unblocked == []
+
+    def test_skip_already_processed_sequence_is_noop(self):
+        locks = LockManager(shard_id=0)
+        locks.try_lock(1, "t1", frozenset({"a"}))
+        assert locks.skip_sequence(1) == []
+        assert locks.k_max == 1
+
+    def test_chain_of_skips(self):
+        locks = LockManager(shard_id=0)
+        locks.try_lock(4, "t4", frozenset({"d"}))
+        locks.skip_sequence(2)
+        locks.skip_sequence(3)
+        unblocked = locks.skip_sequence(1)
+        assert unblocked == ["t4"]
+        assert locks.k_max == 4
+
+
+class TestIntrospection:
+    def test_held_keys_and_holds(self):
+        locks = LockManager(shard_id=0)
+        locks.try_lock(1, "t1", frozenset({"a", "b"}))
+        assert locks.holds("t1")
+        assert locks.held_keys("t1") == frozenset({"a", "b"})
+        assert locks.held_keys("other") == frozenset()
+
+    def test_is_free(self):
+        locks = LockManager(shard_id=0)
+        locks.try_lock(1, "t1", frozenset({"a"}))
+        assert not locks.is_free(frozenset({"a", "z"}))
+        assert locks.is_free(frozenset({"z"}))

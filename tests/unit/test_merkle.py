@@ -1,0 +1,72 @@
+"""Unit tests for the Merkle tree used by block roots."""
+
+import pytest
+
+from repro.common.crypto import sha256
+from repro.common.merkle import MerkleTree, merkle_root
+from repro.errors import LedgerError
+
+
+class TestMerkleTree:
+    def test_single_leaf_root_is_stable(self):
+        assert MerkleTree([b"only"]).root == MerkleTree([b"only"]).root
+
+    def test_root_changes_with_leaf_content(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+
+    def test_root_changes_with_leaf_order(self):
+        assert MerkleTree([b"a", b"b"]).root != MerkleTree([b"b", b"a"]).root
+
+    def test_empty_tree_is_rejected(self):
+        with pytest.raises(LedgerError):
+            MerkleTree([])
+
+    def test_leaf_count(self):
+        assert MerkleTree([b"a", b"b", b"c"]).leaf_count == 3
+
+    def test_merkle_root_helper_matches_tree(self):
+        leaves = [b"x", b"y", b"z"]
+        assert merkle_root(leaves) == MerkleTree(leaves).root
+
+    def test_odd_leaf_counts_are_supported(self):
+        for count in (1, 3, 5, 7, 9):
+            leaves = [f"leaf-{i}".encode() for i in range(count)]
+            tree = MerkleTree(leaves)
+            assert len(tree.root) == 32
+
+    def test_leaf_digest_is_domain_separated_from_node_digest(self):
+        # A tree over one leaf must not equal the raw hash of the leaf, or an
+        # attacker could confuse leaves with inner nodes.
+        assert MerkleTree([b"data"]).root != sha256(b"data")
+
+
+class TestMerkleProofs:
+    def test_valid_proof_verifies_for_every_leaf(self):
+        leaves = [f"txn-{i}".encode() for i in range(7)]
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            proof = tree.proof(index)
+            assert MerkleTree.verify_proof(leaf, proof, tree.root)
+
+    def test_proof_fails_for_wrong_leaf(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        proof = tree.proof(1)
+        assert not MerkleTree.verify_proof(b"not-b", proof, tree.root)
+
+    def test_proof_fails_against_wrong_root(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        tree = MerkleTree(leaves)
+        other = MerkleTree([b"w", b"x", b"y", b"z"])
+        proof = tree.proof(2)
+        assert not MerkleTree.verify_proof(b"c", proof, other.root)
+
+    def test_proof_index_out_of_range(self):
+        tree = MerkleTree([b"a", b"b"])
+        with pytest.raises(LedgerError):
+            tree.proof(5)
+
+    def test_proof_path_length_is_logarithmic(self):
+        leaves = [f"{i}".encode() for i in range(16)]
+        tree = MerkleTree(leaves)
+        assert len(tree.proof(0).path) == 4

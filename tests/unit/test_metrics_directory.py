@@ -1,0 +1,106 @@
+"""Unit tests for metrics summarisation and the deployment directory."""
+
+import pytest
+
+from repro.common.types import ReplicaId
+from repro.config import SystemConfig, ShardConfig
+from repro.consensus.directory import Directory
+from repro.consensus.pbft.client import CompletedTransaction
+from repro.errors import ConfigurationError
+from repro.metrics.collector import ThroughputSeries, summarize
+
+
+def _record(txn_id, submitted, completed, cross=False):
+    return CompletedTransaction(
+        txn_id=txn_id, submitted_at=submitted, completed_at=completed, cross_shard=cross
+    )
+
+
+class TestSummarize:
+    def test_empty_records(self):
+        summary = summarize([])
+        assert summary.completed == 0
+        assert summary.throughput == 0.0
+
+    def test_throughput_and_latency(self):
+        records = [_record(f"t{i}", i * 0.1, i * 0.1 + 0.5) for i in range(10)]
+        summary = summarize(records)
+        assert summary.completed == 10
+        assert summary.avg_latency == pytest.approx(0.5)
+        assert summary.throughput == pytest.approx(10 / summary.duration)
+
+    def test_explicit_duration_overrides_span(self):
+        records = [_record("t", 0.0, 1.0)]
+        summary = summarize(records, duration=10.0)
+        assert summary.throughput == pytest.approx(0.1)
+
+    def test_percentiles_are_ordered(self):
+        records = [_record(f"t{i}", 0.0, 0.1 * (i + 1)) for i in range(100)]
+        summary = summarize(records)
+        assert summary.p50_latency <= summary.p99_latency
+        assert summary.p99_latency <= 10.0
+
+    def test_as_row_is_serialisable(self):
+        row = summarize([_record("t", 0.0, 1.0)]).as_row()
+        assert set(row) >= {"completed", "throughput_tps", "avg_latency_s"}
+
+
+class TestThroughputSeries:
+    def test_buckets_cover_horizon(self):
+        series = ThroughputSeries(bucket_seconds=5.0)
+        records = [_record(f"t{i}", 0.0, float(i)) for i in range(20)]
+        points = series.compute(records, horizon=30.0)
+        assert points[0][0] == 0.0
+        assert points[-1][0] == 30.0
+        assert len(points) == 7
+
+    def test_rates_reflect_bucket_counts(self):
+        series = ThroughputSeries(bucket_seconds=10.0)
+        records = [_record("a", 0.0, 1.0), _record("b", 0.0, 2.0), _record("c", 0.0, 15.0)]
+        points = dict(series.compute(records, horizon=20.0))
+        assert points[0.0] == pytest.approx(0.2)
+        assert points[10.0] == pytest.approx(0.1)
+        assert points[20.0] == pytest.approx(0.0)
+
+
+class TestDirectory:
+    def _directory(self):
+        return Directory.from_config(SystemConfig.uniform(3, 4))
+
+    def test_membership(self):
+        directory = self._directory()
+        assert directory.shard_ids() == (0, 1, 2)
+        assert directory.shard_size(1) == 4
+        assert len(directory.all_replicas()) == 12
+
+    def test_replicas_have_consecutive_indices(self):
+        directory = self._directory()
+        assert [r.index for r in directory.replicas_of(2)] == [0, 1, 2, 3]
+
+    def test_primary_rotates_with_view(self):
+        directory = self._directory()
+        assert directory.primary_of(0, view=0) == ReplicaId(0, 0)
+        assert directory.primary_of(0, view=1) == ReplicaId(0, 1)
+        assert directory.primary_of(0, view=4) == ReplicaId(0, 0)
+
+    def test_counterpart_same_index(self):
+        directory = self._directory()
+        assert directory.peer_with_index(1, 2) == ReplicaId(1, 2)
+
+    def test_counterpart_wraps_for_smaller_shards(self):
+        config = SystemConfig(shards=(ShardConfig(0, 7), ShardConfig(1, 4)))
+        directory = Directory.from_config(config)
+        assert directory.peer_with_index(1, 6) == ReplicaId(1, 2)
+
+    def test_unknown_shard_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._directory().replicas_of(9)
+
+    def test_quorum_per_shard(self):
+        directory = self._directory()
+        assert directory.quorum(0).commit_quorum == 3
+
+    def test_region_lookup(self):
+        directory = self._directory()
+        assert directory.region_of(0) == "oregon"
+        assert directory.region_of(2) == "montreal"

@@ -1,0 +1,57 @@
+"""Unit tests for ASCII chart rendering and the CLI plot command."""
+
+from repro.cli import main
+from repro.metrics.plotting import figure_chart, horizontal_bars, series_chart
+
+
+class TestHorizontalBars:
+    def test_bars_scale_with_values(self):
+        chart = horizontal_bars([("a", 100.0), ("b", 50.0)], title="demo")
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_value_formatting(self):
+        chart = horizontal_bars([("x", 1_500_000.0), ("y", 2_500.0), ("z", 3.5)])
+        assert "1.50M" in chart
+        assert "2.5K" in chart
+        assert "3.50" in chart
+
+    def test_zero_values_render_without_bars(self):
+        chart = horizontal_bars([("empty", 0.0), ("full", 10.0)])
+        empty_line = chart.splitlines()[0]
+        assert "#" not in empty_line
+
+    def test_empty_series(self):
+        assert "(no data)" in horizontal_bars([], title="nothing")
+
+
+class TestSeriesChart:
+    ROWS = [
+        {"protocol": "RingBFT", "num_shards": 3, "throughput_tps": 60_000.0, "latency_s": 0.4},
+        {"protocol": "RingBFT", "num_shards": 15, "throughput_tps": 90_000.0, "latency_s": 4.0},
+        {"protocol": "AHL", "num_shards": 3, "throughput_tps": 20_000.0, "latency_s": 0.2},
+        {"protocol": "AHL", "num_shards": 15, "throughput_tps": 4_500.0, "latency_s": 0.6},
+    ]
+
+    def test_groups_by_protocol(self):
+        chart = series_chart(self.ROWS, x_key="num_shards", y_key="throughput_tps", title="t")
+        assert "RingBFT" in chart and "AHL" in chart
+        assert chart.count("(throughput_tps vs num_shards)") == 2
+
+    def test_figure_chart_includes_throughput_and_latency(self):
+        chart = figure_chart("figure8-shards", self.ROWS)
+        assert "throughput" in chart
+        assert "latency" in chart
+
+    def test_figure_chart_handles_empty_rows(self):
+        assert figure_chart("anything", []) == "(no data)"
+
+
+class TestCliPlot:
+    def test_plot_command_renders_chart(self, capsys):
+        assert main(["plot", "figure10"]) == 0
+        out = capsys.readouterr().out
+        assert "RingBFT" in out
+        assert "#" in out
+        assert "throughput" in out

@@ -1,0 +1,57 @@
+"""Unit tests for quorum arithmetic (n >= 3f + 1)."""
+
+import pytest
+
+from repro.common.quorum import QuorumSpec, max_faulty
+from repro.errors import QuorumError
+
+
+class TestMaxFaulty:
+    @pytest.mark.parametrize(
+        "n, expected",
+        [(1, 0), (3, 0), (4, 1), (6, 1), (7, 2), (10, 3), (16, 5), (28, 9), (32, 10)],
+    )
+    def test_max_faulty_values(self, n, expected):
+        assert max_faulty(n) == expected
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(QuorumError):
+            max_faulty(0)
+
+
+class TestQuorumSpec:
+    def test_commit_quorum_is_n_minus_f(self):
+        spec = QuorumSpec(n=4, f=1)
+        assert spec.commit_quorum == 3
+        assert spec.nf == 3
+
+    def test_weak_quorum_is_f_plus_one(self):
+        assert QuorumSpec(n=28, f=9).weak_quorum == 10
+
+    def test_view_change_quorum_matches_commit_quorum(self):
+        spec = QuorumSpec.for_replicas(16)
+        assert spec.view_change_quorum == spec.commit_quorum
+
+    def test_insufficient_replication_rejected(self):
+        with pytest.raises(QuorumError):
+            QuorumSpec(n=3, f=1)
+
+    def test_negative_faults_rejected(self):
+        with pytest.raises(QuorumError):
+            QuorumSpec(n=4, f=-1)
+
+    def test_for_replicas_uses_maximum_tolerance(self):
+        spec = QuorumSpec.for_replicas(28)
+        assert spec.f == 9
+        assert spec.n == 28
+
+    @pytest.mark.parametrize("n", [4, 7, 10, 16, 22, 28, 31])
+    def test_two_commit_quorums_intersect_in_a_nonfaulty_replica(self, n):
+        # The quorum-intersection argument of Proposition 6.1: any two commit
+        # quorums share at least one non-faulty replica.
+        spec = QuorumSpec.for_replicas(n)
+        assert spec.intersects(spec.commit_quorum)
+
+    def test_weak_quorums_need_not_intersect(self):
+        spec = QuorumSpec.for_replicas(28)
+        assert not spec.intersects(spec.weak_quorum)

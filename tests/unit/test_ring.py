@@ -1,0 +1,97 @@
+"""Unit tests for ring-order routing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.txn.ring import RingTopology
+
+
+class TestConstruction:
+    def test_ascending_helper_sorts_ids(self):
+        ring = RingTopology.ascending([3, 1, 2])
+        assert ring.order == (1, 2, 3)
+
+    def test_custom_permutation_preserved(self):
+        assert RingTopology([5, 2, 9]).order == (5, 2, 9)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingTopology([1, 1, 2])
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingTopology([])
+
+    def test_membership_and_position(self):
+        ring = RingTopology([4, 7, 9])
+        assert 7 in ring
+        assert 3 not in ring
+        assert ring.position(9) == 2
+        with pytest.raises(ConfigurationError):
+            ring.position(3)
+
+
+class TestRouting:
+    def test_route_follows_ring_positions(self):
+        ring = RingTopology([0, 1, 2, 3])
+        assert ring.route({0, 2, 3}) == (0, 2, 3)
+
+    def test_route_with_custom_permutation(self):
+        ring = RingTopology([3, 0, 2, 1])
+        assert ring.route({0, 1, 2}) == (0, 2, 1)
+
+    def test_first_and_last_in_ring_order(self):
+        ring = RingTopology([0, 1, 2, 3])
+        assert ring.first_in_ring_order({1, 3}) == 1
+        assert ring.last_in_ring_order({1, 3}) == 3
+
+    def test_next_wraps_to_initiator(self):
+        ring = RingTopology([0, 1, 2, 3])
+        involved = {0, 1, 3}
+        assert ring.next_in_ring_order(0, involved) == 1
+        assert ring.next_in_ring_order(1, involved) == 3
+        assert ring.next_in_ring_order(3, involved) == 0
+
+    def test_prev_wraps_to_last(self):
+        ring = RingTopology([0, 1, 2, 3])
+        involved = {0, 1, 3}
+        assert ring.prev_in_ring_order(0, involved) == 3
+        assert ring.prev_in_ring_order(3, involved) == 1
+
+    def test_single_shard_route_wraps_to_itself(self):
+        ring = RingTopology([0, 1, 2])
+        assert ring.next_in_ring_order(1, {1}) == 1
+
+    def test_is_initiator(self):
+        ring = RingTopology([0, 1, 2, 3])
+        assert ring.is_initiator(1, {1, 2})
+        assert not ring.is_initiator(2, {1, 2})
+
+    def test_rotation_length_counts_involved_shards(self):
+        ring = RingTopology([0, 1, 2, 3, 4])
+        assert ring.rotation_length({0, 2, 4}) == 3
+
+    def test_uninvolved_shard_rejected(self):
+        ring = RingTopology([0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            ring.next_in_ring_order(2, {0, 1})
+
+    def test_unknown_shard_rejected(self):
+        ring = RingTopology([0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            ring.route({0, 9})
+
+    def test_empty_involved_set_rejected(self):
+        ring = RingTopology([0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            ring.first_in_ring_order(set())
+
+
+class TestDeadlockFreedomPrecondition:
+    def test_two_conflicting_routes_share_the_same_initiator(self):
+        # Theorem 6.2 relies on conflicting transactions over the same shard
+        # set being sequenced by the same initiator shard.
+        ring = RingTopology([0, 1, 2, 3, 4])
+        involved = {1, 3, 4}
+        assert ring.first_in_ring_order(involved) == ring.route(involved)[0]
+        assert ring.first_in_ring_order(involved) == 1

@@ -1,0 +1,146 @@
+"""Unit tests for the YCSB workload generator."""
+
+import random
+
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.errors import WorkloadError
+from repro.storage.kvstore import ShardedKeyValueStore
+from repro.txn.ring import RingTopology
+from repro.workloads.ycsb import YcsbWorkloadGenerator, ZipfianGenerator
+
+
+def _generator(num_shards=4, **overrides):
+    config = WorkloadConfig(
+        num_records=4_000,
+        cross_shard_fraction=overrides.pop("cross_shard_fraction", 0.3),
+        **overrides,
+    )
+    table = ShardedKeyValueStore(tuple(range(num_shards)), config.num_records)
+    ring = RingTopology.ascending(range(num_shards))
+    return YcsbWorkloadGenerator(table, ring, config, seed=42), table
+
+
+class TestZipfian:
+    def test_uniform_when_theta_zero(self):
+        gen = ZipfianGenerator(100, 0.0, random.Random(1))
+        draws = {gen.next() for _ in range(2000)}
+        assert len(draws) > 80  # close to full coverage
+
+    def test_skewed_distribution_prefers_low_ranks(self):
+        gen = ZipfianGenerator(1000, 0.9, random.Random(1))
+        draws = [gen.next() for _ in range(5000)]
+        head = sum(1 for d in draws if d < 10)
+        assert head > len(draws) * 0.2
+
+    def test_values_stay_in_range(self):
+        gen = ZipfianGenerator(50, 0.7, random.Random(3))
+        assert all(0 <= gen.next() < 50 for _ in range(2000))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(0, 0.5, random.Random(1))
+        with pytest.raises(WorkloadError):
+            ZipfianGenerator(10, 1.2, random.Random(1))
+
+
+class TestSingleShardTransactions:
+    def test_targets_requested_shard(self):
+        generator, _ = _generator()
+        txn = generator.single_shard_transaction("client-0", shard=2)
+        assert txn.involved_shards == frozenset({2})
+
+    def test_keys_belong_to_the_owning_shard(self):
+        generator, table = _generator()
+        for _ in range(50):
+            txn = generator.single_shard_transaction("client-0")
+            shard = next(iter(txn.involved_shards))
+            for key in txn.keys_for(shard):
+                assert table.owner_of_key(key) == shard
+
+    def test_read_modify_write_shape(self):
+        generator, _ = _generator()
+        txn = generator.single_shard_transaction("client-0", shard=1)
+        assert len(txn.operations) == 2
+        assert txn.read_keys_for(1) == txn.write_keys_for(1)
+
+    def test_txn_ids_are_unique(self):
+        generator, _ = _generator()
+        ids = {generator.single_shard_transaction("client-0").txn_id for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestCrossShardTransactions:
+    def test_default_touches_all_shards(self):
+        generator, _ = _generator(num_shards=5, involved_shards=0)
+        txn = generator.cross_shard_transaction("client-0")
+        assert txn.involved_shards == frozenset(range(5))
+
+    def test_involved_count_respected_and_consecutive(self):
+        generator, _ = _generator(num_shards=6, involved_shards=3)
+        ring_order = list(range(6))
+        for _ in range(30):
+            txn = generator.cross_shard_transaction("client-0")
+            involved = sorted(txn.involved_shards)
+            assert len(involved) == 3
+            # consecutive on the ring (allowing wrap-around)
+            positions = sorted(ring_order.index(s) for s in involved)
+            spans = (positions[-1] - positions[0] == len(positions) - 1) or (
+                positions[0] == 0 and positions[-1] == len(ring_order) - 1
+            )
+            assert spans
+
+    def test_one_key_per_involved_shard(self):
+        generator, _ = _generator(num_shards=4)
+        txn = generator.cross_shard_transaction("client-0")
+        for shard in txn.involved_shards:
+            assert len(txn.keys_for(shard)) == 1
+
+    def test_remote_reads_create_complex_transactions(self):
+        generator, _ = _generator(num_shards=4, remote_reads=8)
+        txn = generator.cross_shard_transaction("client-0")
+        assert txn.is_complex
+        assert txn.remote_read_count > 0
+        # Dependencies reference keys of *other* involved shards.
+        for op in txn.operations:
+            for dep_shard, _ in op.depends_on:
+                assert dep_shard in txn.involved_shards
+                assert dep_shard != op.shard
+
+    def test_zero_remote_reads_stay_simple(self):
+        generator, _ = _generator(num_shards=4, remote_reads=0)
+        assert generator.cross_shard_transaction("client-0").is_simple
+
+    def test_explicit_involved_list_is_used(self):
+        generator, _ = _generator(num_shards=6)
+        txn = generator.cross_shard_transaction("client-0", involved=[1, 4])
+        assert txn.involved_shards == frozenset({1, 4})
+
+
+class TestGenerateMix:
+    def test_cross_shard_fraction_is_respected(self):
+        generator, _ = _generator(cross_shard_fraction=0.3)
+        txns = generator.generate(600)
+        observed = sum(1 for t in txns if t.is_cross_shard) / len(txns)
+        assert 0.2 <= observed <= 0.4
+        assert generator.last_mix.cross_shard_fraction == pytest.approx(observed)
+
+    def test_zero_fraction_generates_only_single_shard(self):
+        generator, _ = _generator(cross_shard_fraction=0.0)
+        assert all(not t.is_cross_shard for t in generator.generate(100))
+
+    def test_full_fraction_generates_only_cross_shard(self):
+        generator, _ = _generator(cross_shard_fraction=1.0)
+        assert all(t.is_cross_shard for t in generator.generate(100))
+
+    def test_single_shard_ring_never_generates_cross_shard(self):
+        generator, _ = _generator(num_shards=1, cross_shard_fraction=0.9)
+        assert all(not t.is_cross_shard for t in generator.generate(50))
+
+    def test_same_seed_reproduces_workload(self):
+        first, _ = _generator()
+        second, _ = _generator()
+        ids_a = [t.digest() for t in first.generate(50)]
+        ids_b = [t.digest() for t in second.generate(50)]
+        assert ids_a == ids_b
