@@ -1,17 +1,21 @@
-"""Protocol-mode micro-benchmarks of the simulator itself.
+"""Protocol-mode micro-benchmarks of the execution engine itself.
 
 These are not paper figures: they measure how expensive the message-level
 reproduction is to run (wall-clock per simulated consensus), which is useful
-when sizing protocol-mode experiments, and they compare the per-transaction
+when sizing protocol-mode experiments, they compare the per-transaction
 message footprint of the three protocols on identical workloads (the
-mechanism behind the Figure 8 shapes).
+mechanism behind the Figure 8 shapes), and they quantify the keystore's
+signature-verification memo cache on the cross-shard Forward hot path.
 """
+
+import time
 
 from repro.baselines.ahl.replica import AhlReplica
 from repro.baselines.sharper.replica import SharperReplica
-from repro.cluster import Cluster
+from repro.common.crypto import KeyStore, SignatureScheme, verify_certificate
 from repro.config import SystemConfig, WorkloadConfig
 from repro.core.replica import RingBftReplica
+from repro.engine import Deployment
 from repro.txn.transaction import TransactionBuilder
 
 
@@ -19,22 +23,26 @@ def _workload():
     return WorkloadConfig(num_records=400, batch_size=1, num_clients=1, seed=7)
 
 
-def _cluster(replica_class, num_shards=3):
+def _deployment(replica_class, num_shards=3):
     config = SystemConfig.uniform(num_shards, 4, workload=_workload())
-    return Cluster.build(config, replica_class=replica_class, num_clients=1, batch_size=1, seed=7)
+    return Deployment.build(
+        config, backend="sim", replica_class=replica_class, num_clients=1, batch_size=1, seed=7
+    )
 
 
-def _cross_txn(cluster, txn_id, shards=(0, 1, 2)):
+def _cross_txn(deployment, txn_id, shards=(0, 1, 2)):
     builder = TransactionBuilder(txn_id, "client-0")
     for shard in shards:
-        builder.read_modify_write(shard, cluster.table.local_record(shard, 1), f"{txn_id}@{shard}")
+        builder.read_modify_write(
+            shard, deployment.table.local_record(shard, 1), f"{txn_id}@{shard}"
+        )
     return builder.build()
 
 
-def _single_txn(cluster, txn_id, shard=0):
+def _single_txn(deployment, txn_id, shard=0):
     return (
         TransactionBuilder(txn_id, "client-0")
-        .read_modify_write(shard, cluster.table.local_record(shard, 0), "v")
+        .read_modify_write(shard, deployment.table.local_record(shard, 0), "v")
         .build()
     )
 
@@ -43,10 +51,10 @@ def test_simulated_single_shard_consensus(benchmark):
     """Wall-clock cost of simulating one single-shard PBFT consensus."""
 
     def run():
-        cluster = _cluster(RingBftReplica, num_shards=1)
-        cluster.submit(_single_txn(cluster, "micro-single"))
-        assert cluster.run_until_clients_done(timeout=30.0)
-        return cluster.simulator.processed_events
+        deployment = _deployment(RingBftReplica, num_shards=1)
+        deployment.submit(_single_txn(deployment, "micro-single"))
+        assert deployment.run_until_clients_done(timeout=30.0)
+        return deployment.scheduler.processed_events
 
     events = benchmark(run)
     assert events > 0
@@ -56,10 +64,10 @@ def test_simulated_cross_shard_consensus(benchmark):
     """Wall-clock cost of simulating one three-shard RingBFT transaction."""
 
     def run():
-        cluster = _cluster(RingBftReplica)
-        cluster.submit(_cross_txn(cluster, "micro-cross"))
-        assert cluster.run_until_clients_done(timeout=60.0)
-        return cluster.simulator.processed_events
+        deployment = _deployment(RingBftReplica)
+        deployment.submit(_cross_txn(deployment, "micro-cross"))
+        assert deployment.run_until_clients_done(timeout=60.0)
+        return deployment.scheduler.processed_events
 
     events = benchmark(run)
     assert events > 0
@@ -75,16 +83,16 @@ def test_cross_shard_message_footprint_comparison(benchmark, show_table):
             ("Sharper", SharperReplica),
             ("AHL", AhlReplica),
         ):
-            cluster = _cluster(replica_class)
-            cluster.submit(_cross_txn(cluster, f"fp-{name}"))
-            assert cluster.run_until_clients_done(timeout=120.0)
-            cluster.run(duration=cluster.simulator.now + 5.0)
+            deployment = _deployment(replica_class)
+            deployment.submit(_cross_txn(deployment, f"fp-{name}"))
+            assert deployment.run_until_clients_done(timeout=120.0)
+            deployment.backend.run_for(5.0)
             rows.append(
                 {
                     "protocol": name,
-                    "messages": cluster.total_messages(),
-                    "bytes": sum(r.stats.total_bytes for r in cluster.replicas.values()),
-                    "latency_ms": round(cluster.latencies()[0] * 1000, 1),
+                    "messages": deployment.total_messages(),
+                    "bytes": sum(r.stats.total_bytes for r in deployment.replicas.values()),
+                    "latency_ms": round(deployment.latencies()[0] * 1000, 1),
                 }
             )
         return rows
@@ -98,3 +106,73 @@ def test_cross_shard_message_footprint_comparison(benchmark, show_table):
     # fixed Section 8 message sizes assume batches of 100).
     assert footprint["RingBFT"]["messages"] < footprint["Sharper"]["messages"]
     assert footprint["AHL"]["messages"] > 0
+
+
+def _forward_certificate(keystore, signers=7):
+    """A Forward-style commit certificate: nf signatures over one digest."""
+    scheme = SignatureScheme(keystore)
+    payload = b"commit-certificate|shard-0|seq-42"
+    signatures = [scheme.sign(f"replica-{i}", payload) for i in range(signers)]
+    return scheme, payload, signatures
+
+
+def test_forward_certificate_verification_cache(benchmark, show_table):
+    """Signature-cache speedup on repeated Forward certificate verification.
+
+    Every replica of the next shard checks the same commit certificate at
+    each of its ``f + 1`` matching Forward receptions plus retransmissions;
+    the keystore memo turns all but the first check into a cache hit.
+    """
+    rounds = 200
+
+    def verify_repeatedly(keystore):
+        scheme, payload, signatures = _forward_certificate(keystore)
+        for _ in range(rounds):
+            assert verify_certificate(scheme, payload, signatures, required=5)
+
+    started = time.perf_counter()
+    verify_repeatedly(KeyStore(verify_cache_size=0))
+    uncached_s = time.perf_counter() - started
+
+    cached_keystore = KeyStore()
+    benchmark(lambda: verify_repeatedly(cached_keystore))
+    started = time.perf_counter()
+    verify_repeatedly(cached_keystore)
+    cached_s = time.perf_counter() - started
+
+    stats = cached_keystore.cache_stats()
+    show_table(
+        f"Forward certificate verification ({rounds} checks of a 7-signature certificate)",
+        [
+            {"variant": "uncached (verify_cache_size=0)", "seconds": round(uncached_s, 5)},
+            {"variant": "LRU memo (default)", "seconds": round(cached_s, 5)},
+            {
+                "variant": "cache hits",
+                "seconds": f"cert={stats['certificate']['hits']} sig={stats['verify']['hits']}",
+            },
+        ],
+    )
+    assert cached_s < uncached_s
+    assert stats["certificate"]["hits"] >= rounds - 1
+
+
+def test_cross_shard_consensus_cache_hit_rate(benchmark, show_table):
+    """End-to-end: the memo cache absorbs most Forward re-verifications."""
+
+    def run():
+        deployment = _deployment(RingBftReplica)
+        deployment.submit(_cross_txn(deployment, "cache-hit"))
+        assert deployment.run_until_clients_done(timeout=60.0)
+        return deployment.keystore.cache_stats()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    show_table(
+        "Keystore cache utilisation for one cross-shard transaction",
+        [
+            {"cache": name, **values}
+            for name, values in stats.items()
+        ],
+    )
+    # The Forward/Execute fan-in re-checks the same signatures many times.
+    assert stats["verify"]["hits"] > 0
+    assert stats["certificate"]["hits"] > 0

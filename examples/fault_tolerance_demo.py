@@ -13,8 +13,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro.cluster import Cluster
 from repro.config import SystemConfig, TimerConfig, WorkloadConfig
+from repro.engine import Deployment
 from repro.core.replica import RingBftReplica
 from repro.faults.injector import FaultInjector
 from repro.metrics.collector import ThroughputSeries, summarize
@@ -39,7 +39,7 @@ def main() -> None:
         local_timeout=2.0, remote_timeout=4.0, transmit_timeout=6.0, client_timeout=3.0
     )
     config = SystemConfig.uniform(NUM_SHARDS, 4, timers=timers, workload=workload)
-    cluster = Cluster.build(config, replica_class=RingBftReplica, num_clients=4, batch_size=1)
+    cluster = Deployment.build(config, replica_class=RingBftReplica, num_clients=4, batch_size=1)
     generator = YcsbWorkloadGenerator(cluster.table, cluster.directory.ring, workload)
 
     # Open-loop workload for the whole horizon.
@@ -51,7 +51,7 @@ def main() -> None:
         def _submit(client_id=client_id):
             cluster.submit(generator.generate(1, client_id)[0], client_id)
 
-        cluster.simulator.schedule(i / RATE_PER_SECOND, _submit)
+        cluster.scheduler.schedule(i / RATE_PER_SECOND, _submit)
 
     # Crash the primaries of the first two shards mid-run.
     injector = FaultInjector(cluster)

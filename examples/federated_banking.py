@@ -21,18 +21,20 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Cluster, SystemConfig, TransactionBuilder
+import argparse
+
+from repro import Deployment, SystemConfig, TransactionBuilder
 from repro.config import WorkloadConfig
 
 BANKS = {0: "Pacific Trust", 1: "Atlantic Mutual", 2: "Meridian Bank", 3: "Austral Savings"}
 
 
-def account_key(cluster: Cluster, bank: int, account_index: int) -> str:
+def account_key(cluster: Deployment, bank: int, account_index: int) -> str:
     """Pick a record owned by ``bank`` to stand in for an account row."""
     return cluster.table.local_record(bank, account_index)
 
 
-def intra_bank_payment(cluster: Cluster, txn_id: str, bank: int, account: int, note: str):
+def intra_bank_payment(cluster: Deployment, txn_id: str, bank: int, account: int, note: str):
     key = account_key(cluster, bank, account)
     return (
         TransactionBuilder(txn_id, "client-0")
@@ -41,7 +43,7 @@ def intra_bank_payment(cluster: Cluster, txn_id: str, bank: int, account: int, n
     )
 
 
-def settlement(cluster: Cluster, txn_id: str, debtor: int, creditor: int, account: int, amount: int):
+def settlement(cluster: Deployment, txn_id: str, debtor: int, creditor: int, account: int, amount: int):
     """A cross-bank settlement: one ledger entry on each involved bank."""
     debit_key = account_key(cluster, debtor, account)
     credit_key = account_key(cluster, creditor, account)
@@ -53,13 +55,14 @@ def settlement(cluster: Cluster, txn_id: str, debtor: int, creditor: int, accoun
     )
 
 
-def main() -> None:
+def main(backend: str = "sim") -> None:
     config = SystemConfig.uniform(
         num_shards=len(BANKS),
         replicas_per_shard=4,
         workload=WorkloadConfig(num_records=800, batch_size=1, num_clients=1),
     )
-    cluster = Cluster.build(config, num_clients=1, batch_size=1)
+    cluster = Deployment.build(config, backend=backend, num_clients=1, batch_size=1,
+                               time_scale=0.02)
     print("consortium members:")
     for shard, name in BANKS.items():
         print(f"  shard {shard}: {name} ({config.shard(shard).num_replicas} replicas, "
@@ -81,7 +84,7 @@ def main() -> None:
           f"({sum(1 for t in workload if t.is_cross_shard)} cross-bank settlements)")
 
     done = cluster.run_until_clients_done(timeout=120.0)
-    cluster.run(duration=cluster.simulator.now + 2.0)
+    cluster.backend.run_for(2.0)
     print(f"all transactions settled: {done}")
 
     print("\nsettlement latencies:")
@@ -112,7 +115,10 @@ def main() -> None:
         states = {tuple(sorted(r.store.items().items())) for r in cluster.shard_replicas(shard)}
         print(f"  {name}: all {config.shard(shard).num_replicas} replicas hold identical state: "
               f"{len(states) == 1}")
+    cluster.close()
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("sim", "realtime"), default="sim")
+    main(parser.parse_args().backend)

@@ -21,19 +21,22 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Cluster, SystemConfig, TransactionBuilder
+import argparse
+
+from repro import Deployment, SystemConfig, TransactionBuilder
 from repro.config import WorkloadConfig
 
 PARTIES = {0: "manufacturer", 1: "shipping-line", 2: "customs-broker", 3: "retailer"}
 
 
-def main() -> None:
+def main(backend: str = "sim") -> None:
     config = SystemConfig.uniform(
         num_shards=len(PARTIES),
         replicas_per_shard=4,
         workload=WorkloadConfig(num_records=400, batch_size=1, num_clients=1),
     )
-    cluster = Cluster.build(config, num_clients=1, batch_size=1)
+    cluster = Deployment.build(config, backend=backend, num_clients=1, batch_size=1,
+                               time_scale=0.02)
 
     lot_key = cluster.table.local_record(0, 0)        # manufacturer's lot record
     manifest_key = cluster.table.local_record(1, 0)   # shipping manifest entry
@@ -69,7 +72,7 @@ def main() -> None:
 
     cluster.submit(handoff)
     done = cluster.run_until_clients_done(timeout=120.0)
-    cluster.run(duration=cluster.simulator.now + 2.0)
+    cluster.backend.run_for(2.0)
     print(f"hand-off committed atomically on all parties: {done}")
 
     print("\nper-party records after the hand-off (dependencies resolved in-line):")
@@ -91,7 +94,10 @@ def main() -> None:
     rotations = 2
     print(f"\nconsensus required {rotations} rotations around the ring of "
           f"{len(handoff.involved_shards)} involved shards, as the paper guarantees.")
+    cluster.close()
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("sim", "realtime"), default="sim")
+    main(parser.parse_args().backend)

@@ -18,11 +18,13 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+
 from repro.analytical import DeploymentSpec, estimate, model_by_name
 from repro.baselines.ahl.replica import AhlReplica
 from repro.baselines.sharper.replica import SharperReplica
-from repro.cluster import Cluster
 from repro.config import SystemConfig, WorkloadConfig
+from repro.engine import Deployment
 from repro.core.replica import RingBftReplica
 from repro.metrics.collector import summarize
 from repro.workloads.ycsb import YcsbWorkloadGenerator
@@ -40,25 +42,29 @@ CROSS_SHARD_MESSAGES = {
 }
 
 
-def run_protocol(name: str, replica_class) -> dict:
+def run_protocol(name: str, replica_class, backend: str = "sim") -> dict:
     workload = WorkloadConfig(
         num_records=600, cross_shard_fraction=0.6, batch_size=1, num_clients=2, seed=99
     )
     config = SystemConfig.uniform(4, 4, workload=workload)
-    cluster = Cluster.build(config, replica_class=replica_class, num_clients=2, batch_size=1, seed=99)
+    cluster = Deployment.build(
+        config, backend=backend, replica_class=replica_class, num_clients=2, batch_size=1,
+        seed=99, time_scale=0.02,
+    )
     generator = YcsbWorkloadGenerator(cluster.table, cluster.directory.ring, workload, seed=99)
 
     transactions = generator.generate(20, "client-0") + generator.generate(10, "client-1")
     for i, txn in enumerate(transactions):
         cluster.submit(txn, f"client-{0 if i < 20 else 1}")
     cluster.run_until_clients_done(timeout=300.0)
-    cluster.run(duration=cluster.simulator.now + 5.0)
+    cluster.backend.run_for(5.0)
 
     counts = cluster.message_counts()
     cross_messages = sum(counts.get(m, 0) for m in CROSS_SHARD_MESSAGES[name])
     records = [record for client in cluster.clients.values() for record in client.completed]
     summary = summarize(records)
     bytes_total = sum(replica.stats.total_bytes for replica in cluster.replicas.values())
+    cluster.close()
     return {
         "completed": summary.completed,
         "avg_latency_ms": summary.avg_latency * 1000,
@@ -68,13 +74,14 @@ def run_protocol(name: str, replica_class) -> dict:
     }
 
 
-def main() -> None:
-    print("protocol-mode comparison (4 shards x 4 replicas, 30 transactions, 60% cross-shard)\n")
+def main(backend: str = "sim") -> None:
+    print(f"protocol-mode comparison (4 shards x 4 replicas, 30 transactions, 60% cross-shard, "
+          f"{backend!r} backend)\n")
     header = f"{'protocol':10s} {'done':>5s} {'avg latency':>12s} {'messages':>10s} {'cross-shard':>12s} {'MB sent':>9s}"
     print(header)
     print("-" * len(header))
     for name, replica_class in PROTOCOLS.items():
-        result = run_protocol(name, replica_class)
+        result = run_protocol(name, replica_class, backend)
         print(
             f"{name:10s} {result['completed']:5d} {result['avg_latency_ms']:10.1f}ms "
             f"{result['total_messages']:10d} {result['cross_shard_messages']:12d} "
@@ -102,4 +109,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("sim", "realtime"), default="sim")
+    main(parser.parse_args().backend)

@@ -1,10 +1,12 @@
 """Real-time demo: the same RingBFT code running on asyncio instead of the simulator.
 
-Every other example drives the deterministic discrete-event simulator.  This
-one runs the identical replica implementations on a real asyncio event loop:
-protocol timers are real timers and WAN delays are real (compressed 50x so
-the demo finishes in a couple of wall-clock seconds).  It is the starting
-point for turning the reproduction into an actually networked deployment.
+Every other example defaults to the deterministic discrete-event backend.
+This one runs the identical replica implementations on a real asyncio event
+loop: protocol timers are real timers and WAN delays are real delays
+(compressed 50x so the demo finishes in a couple of wall-clock seconds).
+Since the pluggable-engine refactor this is just ``Deployment.build`` with
+``backend="realtime"`` -- pass ``--backend sim`` to watch the exact same
+workload on the simulator instead and compare the unified results.
 
 Run with::
 
@@ -13,20 +15,25 @@ Run with::
 
 from __future__ import annotations
 
+import argparse
+
 from repro.config import SystemConfig, WorkloadConfig
-from repro.rt.runtime import RealTimeCluster
+from repro.engine import Deployment
 from repro.txn.transaction import TransactionBuilder
 
 
-def main() -> None:
+def main(backend: str = "realtime") -> None:
     config = SystemConfig.uniform(
         num_shards=3,
         replicas_per_shard=4,
         workload=WorkloadConfig(num_records=300, batch_size=1, num_clients=1),
     )
-    cluster = RealTimeCluster(config, num_clients=2, time_scale=0.02, latency_scale=0.02)
-    print("real-time deployment: 3 shards x 4 replicas on an asyncio event loop "
-          "(WAN delays compressed 50x)\n")
+    deployment = Deployment.build(
+        config, backend=backend, num_clients=2, time_scale=0.02
+    )
+    clock = "an asyncio event loop (WAN delays compressed 50x)" if backend == "realtime" \
+        else "the deterministic simulator"
+    print(f"deployment: 3 shards x 4 replicas on {clock}\n")
 
     transactions = []
     for i in range(4):
@@ -43,23 +50,27 @@ def main() -> None:
         .build()
     )
 
-    result = cluster.run_workload(transactions, timeout=20.0)
+    result = deployment.run_workload(transactions, timeout=600.0)
 
+    print(f"backend              : {result.backend}")
     print(f"submitted            : {result.submitted}")
     print(f"completed            : {result.completed}")
-    print(f"wall-clock duration  : {result.wall_clock_seconds:.2f}s")
-    print(f"avg protocol latency : {result.avg_latency:.3f}s (at compressed WAN delays)")
-    print(f"throughput           : {result.throughput_tps:.1f} txn/s (wall clock)")
+    print(f"protocol duration    : {result.duration_s:.2f}s")
+    print(f"wall-clock duration  : {result.wall_clock_s:.2f}s")
+    print(f"avg protocol latency : {result.avg_latency:.3f}s")
+    print(f"throughput           : {result.throughput_tps:.1f} txn/s (protocol time)")
 
     print("\nmessages exchanged:")
-    for name, count in sorted(cluster.message_counts().items()):
+    for name, count in sorted(result.message_counts.items()):
         print(f"  {name:15s} {count:5d}")
 
-    consistent = all(cluster.ledgers_consistent(shard) for shard in config.shard_ids)
-    print(f"\nledgers consistent across replicas: {consistent}")
-    value = cluster.shard_replicas(2)[0].store.read("user220")
+    print(f"\nledgers consistent across replicas: {result.ledgers_consistent}")
+    value = deployment.shard_replicas(2)[0].store.read("user220")
     print(f"cross-shard write visible on shard 2: {value!r}")
+    deployment.close()
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("sim", "realtime"), default="realtime")
+    main(parser.parse_args().backend)

@@ -22,6 +22,15 @@ Quickstart::
 
 from repro.cluster import Cluster
 from repro.config import ShardConfig, SystemConfig, TimerConfig, WorkloadConfig
+from repro.engine import (
+    Deployment,
+    ExecutionBackend,
+    RealTimeBackend,
+    RunResult,
+    SimBackend,
+    WorkloadDriver,
+    backend_by_name,
+)
 from repro.consensus.directory import Directory
 from repro.core.replica import RingBftReplica
 from repro.consensus.pbft.replica import PbftReplica
@@ -32,6 +41,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Cluster",
+    "Deployment",
+    "ExecutionBackend",
+    "RealTimeBackend",
+    "RunResult",
+    "SimBackend",
+    "WorkloadDriver",
+    "backend_by_name",
     "SystemConfig",
     "ShardConfig",
     "TimerConfig",

@@ -8,8 +8,11 @@ Examples::
     # Regenerate one figure and print its table.
     ringbft run figure8-shards
 
-    # Run a small end-to-end protocol demo in the simulator.
-    ringbft demo --shards 3 --replicas 4 --transactions 20
+    # Run the figure's protocol-mode validation on a chosen execution backend.
+    ringbft run figure8-shards --backend realtime
+
+    # Run a small end-to-end protocol demo (simulator or asyncio real time).
+    ringbft demo --shards 3 --replicas 4 --transactions 20 --backend sim
 """
 
 from __future__ import annotations
@@ -17,14 +20,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cluster import Cluster
 from repro.config import SystemConfig, WorkloadConfig
 from repro.core.replica import RingBftReplica
 from repro.baselines.ahl.replica import AhlReplica
 from repro.baselines.sharper.replica import SharperReplica
+from repro.engine import BACKENDS, Deployment, WorkloadDriver
 from repro.experiments.runner import EXPERIMENTS, format_table, run_experiment
-from repro.metrics.collector import summarize
-from repro.workloads.clients import ClosedLoopDriver
 from repro.workloads.ycsb import YcsbWorkloadGenerator
 
 _PROTOCOLS = {
@@ -41,7 +42,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    rows = run_experiment(args.experiment)
+    rows = run_experiment(args.experiment, backend=args.backend)
     print(format_table(rows))
     return 0
 
@@ -49,7 +50,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_plot(args: argparse.Namespace) -> int:
     from repro.metrics.plotting import figure_chart
 
-    rows = run_experiment(args.experiment)
+    rows = run_experiment(args.experiment, backend=args.backend)
     print(figure_chart(args.experiment, rows))
     return 0
 
@@ -63,30 +64,34 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     config = SystemConfig.uniform(args.shards, args.replicas, workload=workload)
-    cluster = Cluster.build(
+    deployment = Deployment.build(
         config,
+        backend=args.backend,
         replica_class=_PROTOCOLS[args.protocol],
         num_clients=args.clients,
         batch_size=1,
         seed=args.seed,
+        time_scale=args.time_scale,
     )
-    generator = YcsbWorkloadGenerator(cluster.table, cluster.directory.ring, workload, seed=args.seed)
-    driver = ClosedLoopDriver(cluster, generator, total=args.transactions, window=2)
-    completed = driver.run(timeout=300.0)
-    records = []
-    for client in cluster.clients.values():
-        records.extend(client.completed)
-    summary = summarize(records)
+    try:
+        generator = YcsbWorkloadGenerator(
+            deployment.table, deployment.directory.ring, workload, seed=args.seed
+        )
+        driver = WorkloadDriver(deployment, generator, total=args.transactions, window=2)
+        result = driver.run(timeout=300.0)
+    finally:
+        deployment.close()
     print(f"protocol            : {args.protocol}")
+    print(f"backend             : {result.backend}")
     print(f"shards x replicas   : {args.shards} x {args.replicas}")
-    print(f"completed           : {completed}/{args.transactions}")
-    print(f"simulated duration  : {summary.duration:.3f}s")
-    print(f"throughput          : {summary.throughput:.1f} txn/s (simulated)")
-    print(f"average latency     : {summary.avg_latency * 1000:.1f} ms")
-    print(f"messages exchanged  : {cluster.total_messages()}")
-    consistent = all(cluster.ledgers_consistent(s) for s in config.shard_ids)
-    print(f"ledgers consistent  : {consistent}")
-    return 0 if completed == args.transactions and consistent else 1
+    print(f"completed           : {result.completed}/{result.submitted}")
+    print(f"duration            : {result.duration_s:.3f}s (protocol time)")
+    print(f"wall clock          : {result.wall_clock_s:.3f}s")
+    print(f"throughput          : {result.throughput_tps:.1f} txn/s (protocol time)")
+    print(f"average latency     : {result.avg_latency * 1000:.1f} ms")
+    print(f"messages exchanged  : {result.total_messages}")
+    print(f"ledgers consistent  : {result.ledgers_consistent}")
+    return 0 if result.all_completed and result.ledgers_consistent else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,22 +104,38 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser = sub.add_parser("list", help="list available experiments")
     list_parser.set_defaults(func=_cmd_list)
 
+    backend_kwargs = dict(choices=sorted(BACKENDS), default=None)
+
     run_parser = sub.add_parser("run", help="run one experiment and print its table")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_parser.add_argument(
+        "--backend",
+        help="run the figure's protocol-mode validation on this execution backend "
+        "instead of regenerating the analytical figure",
+        **backend_kwargs,
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     plot_parser = sub.add_parser("plot", help="run one experiment and render ASCII charts")
     plot_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    plot_parser.add_argument("--backend", **backend_kwargs)
     plot_parser.set_defaults(func=_cmd_plot)
 
-    demo_parser = sub.add_parser("demo", help="run a protocol-mode demo in the simulator")
+    demo_parser = sub.add_parser("demo", help="run a protocol-mode demo on either backend")
     demo_parser.add_argument("--protocol", choices=sorted(_PROTOCOLS), default="ringbft")
+    demo_parser.add_argument("--backend", choices=sorted(BACKENDS), default="sim")
     demo_parser.add_argument("--shards", type=int, default=3)
     demo_parser.add_argument("--replicas", type=int, default=4)
     demo_parser.add_argument("--clients", type=int, default=2)
     demo_parser.add_argument("--transactions", type=int, default=20)
     demo_parser.add_argument("--cross-shard", type=float, default=0.3)
     demo_parser.add_argument("--seed", type=int, default=2022)
+    demo_parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.02,
+        help="realtime backend only: compress every delay by this factor",
+    )
     demo_parser.set_defaults(func=_cmd_demo)
 
     return parser

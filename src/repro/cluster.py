@@ -1,49 +1,34 @@
-"""Cluster harness: builds a full simulated deployment and drives it.
+"""Deprecated simulator-only harness; use :class:`repro.engine.Deployment`.
 
-The harness wires together everything a protocol run needs -- simulator,
-network, keystore, directory, one replica object per configured replica, and
-any number of clients -- and offers convenience helpers used by the examples,
-the integration tests, and the protocol-mode benchmarks.
+``Cluster`` predates the pluggable execution engine: it hard-wired every
+experiment, benchmark, and example to the discrete-event simulator.  The
+harness now lives in :mod:`repro.engine.deployment`, where the same code runs
+on either the simulator or the asyncio real-time backend::
+
+    # old (sim only)                      # new (any backend)
+    Cluster.build(config, ...)            Deployment.build(config, backend="sim", ...)
+
+``Cluster`` remains as a thin shim -- a :class:`Deployment` pinned to the
+simulator backend -- so existing call sites keep working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.common.crypto import KeyStore
-from repro.common.types import ReplicaId
-from repro.config import SystemConfig
-from repro.consensus.directory import Directory
-from repro.consensus.pbft.client import Client
 from repro.consensus.pbft.replica import PbftReplica
 from repro.core.replica import RingBftReplica
-from repro.errors import ConfigurationError
-from repro.sim.kernel import Simulator
-from repro.sim.network import Network, NetworkConditions
+from repro.config import SystemConfig
+from repro.engine.backends import SimBackend
+from repro.engine.deployment import Deployment
 from repro.sim.regions import LatencyModel
-from repro.storage.kvstore import ShardedKeyValueStore
-from repro.txn.transaction import Transaction
+
+__all__ = ["Cluster"]
 
 
-@dataclass
-class Cluster:
-    """A running simulated deployment of one protocol."""
-
-    config: SystemConfig
-    directory: Directory
-    simulator: Simulator
-    network: Network
-    keystore: KeyStore
-    replicas: dict[ReplicaId, PbftReplica]
-    clients: dict[str, Client] = field(default_factory=dict)
-    table: ShardedKeyValueStore | None = None
-
-    # ------------------------------------------------------------------
-    # construction
-    # ------------------------------------------------------------------
+class Cluster(Deployment):
+    """Deprecated: a :class:`Deployment` pinned to the simulator backend."""
 
     @classmethod
-    def build(
+    def build(  # type: ignore[override]
         cls,
         config: SystemConfig,
         *,
@@ -54,140 +39,13 @@ class Cluster:
         seed: int = 2022,
         preload_table: bool = True,
     ) -> "Cluster":
-        """Build a cluster running ``replica_class`` on every replica."""
-        directory = Directory.from_config(config)
-        simulator = Simulator(seed=seed)
-        network = Network(simulator, latency=latency, conditions=NetworkConditions())
-        keystore = KeyStore()
-        table = ShardedKeyValueStore(config.shard_ids, config.workload.num_records)
-
-        replicas: dict[ReplicaId, PbftReplica] = {}
-        for shard in config.shards:
-            partition = table.build_partition(shard.shard_id) if preload_table else None
-            for replica_id in directory.replicas_of(shard.shard_id):
-                replicas[replica_id] = replica_class(
-                    replica_id,
-                    directory,
-                    network,
-                    keystore,
-                    batch_size=batch_size or 1,
-                    initial_records=partition,
-                )
-
-        cluster = cls(
-            config=config,
-            directory=directory,
-            simulator=simulator,
-            network=network,
-            keystore=keystore,
-            replicas=replicas,
-            table=table,
+        """Build a simulator-backed deployment (legacy signature)."""
+        return super().build(
+            config,
+            backend=SimBackend(seed=seed, latency=latency),
+            replica_class=replica_class,
+            num_clients=num_clients,
+            batch_size=batch_size,
+            seed=seed,
+            preload_table=preload_table,
         )
-        for i in range(num_clients):
-            cluster.add_client(f"client-{i}")
-        return cluster
-
-    def add_client(self, client_id: str, region: str = "local") -> Client:
-        if client_id in self.clients:
-            raise ConfigurationError(f"client {client_id!r} already exists")
-        client = Client(client_id, self.directory, self.network, self.keystore, region=region)
-        self.clients[client_id] = client
-        return client
-
-    # ------------------------------------------------------------------
-    # access helpers
-    # ------------------------------------------------------------------
-
-    def replica(self, shard: int, index: int) -> PbftReplica:
-        return self.replicas[ReplicaId(shard=shard, index=index)]
-
-    def shard_replicas(self, shard: int) -> list[PbftReplica]:
-        return [self.replicas[r] for r in self.directory.replicas_of(shard)]
-
-    def primary_of(self, shard: int, view: int = 0) -> PbftReplica:
-        return self.replicas[self.directory.primary_of(shard, view)]
-
-    @property
-    def client(self) -> Client:
-        """The first client (convenience for single-client scenarios)."""
-        return next(iter(self.clients.values()))
-
-    # ------------------------------------------------------------------
-    # driving the simulation
-    # ------------------------------------------------------------------
-
-    def submit(self, txn: Transaction, client_id: str | None = None) -> None:
-        """Submit a transaction through a client (defaults to the first client)."""
-        client = self.clients[client_id] if client_id else self.client
-        client.submit(txn)
-
-    def run(self, duration: float | None = None, max_events: int | None = 2_000_000) -> float:
-        """Run the simulation until quiescent, for ``duration`` seconds, or ``max_events``."""
-        return self.simulator.run(until=duration, max_events=max_events)
-
-    def run_until_clients_done(self, timeout: float = 120.0, max_events: int = 5_000_000) -> bool:
-        """Run until every client transaction completed or the virtual timeout passes."""
-        deadline = self.simulator.now + timeout
-        fired = 0
-        while fired < max_events:
-            if all(client.outstanding == 0 for client in self.clients.values()):
-                return True
-            nxt_exists = self.simulator.pending_events > 0
-            if not nxt_exists or self.simulator.now > deadline:
-                break
-            self.simulator.step()
-            fired += 1
-        return all(client.outstanding == 0 for client in self.clients.values())
-
-    # ------------------------------------------------------------------
-    # deployment-wide metrics and invariants
-    # ------------------------------------------------------------------
-
-    def completed_transactions(self) -> int:
-        return sum(client.completed_count for client in self.clients.values())
-
-    def latencies(self) -> list[float]:
-        values: list[float] = []
-        for client in self.clients.values():
-            values.extend(client.latencies())
-        return values
-
-    def total_messages(self) -> int:
-        return sum(node.stats.total_messages for node in self.replicas.values())
-
-    def message_counts(self) -> dict[str, int]:
-        totals: dict[str, int] = {}
-        for node in self.replicas.values():
-            for name, count in node.stats.sent_count.items():
-                totals[name] = totals.get(name, 0) + count
-        return totals
-
-    def ledgers_consistent(self, shard: int) -> bool:
-        """Every non-crashed replica of ``shard`` holds a ledger with the same blocks.
-
-        Replicas that lag (fewer blocks) are compared on their common prefix,
-        mirroring the paper's non-divergence property (identical order, some
-        replicas may be behind until the next checkpoint).
-        """
-        chains = [
-            [block.block_hash() for block in replica.ledger.blocks()]
-            for replica in self.shard_replicas(shard)
-            if not replica.crashed
-        ]
-        if not chains:
-            return True
-        for a in chains:
-            for b in chains:
-                prefix = min(len(a), len(b))
-                if a[:prefix] != b[:prefix]:
-                    return False
-        return True
-
-    def executed_in_same_order(self, shard: int, txn_ids: set[str]) -> bool:
-        """All replicas of ``shard`` executed the given transactions in one order."""
-        orders = {
-            tuple(replica.ledger.commit_order(txn_ids))
-            for replica in self.shard_replicas(shard)
-            if not replica.crashed and replica.executed_txn_count > 0
-        }
-        return len(orders) <= 1

@@ -24,11 +24,60 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.errors import CryptoError
 
 DIGEST_SIZE = 32
+
+#: Default capacity of the keystore's verification memo caches.
+DEFAULT_VERIFY_CACHE_SIZE = 65_536
+
+_MISS = object()
+
+
+class LruCache:
+    """A small LRU memo with hit/miss counters.
+
+    Verification of a ``(signer, signature, payload)`` triple is a pure
+    function of key material, so its result can be memoised safely; replicas
+    re-verify the same Forward certificates on every retransmission and at
+    every one of the ``f + 1`` matching receptions, which makes signature
+    re-verification the dominant cost of cross-shard Forward processing.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise CryptoError("LruCache needs a positive maxsize")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        value = self._data.get(key, _MISS)
+        if value is _MISS:
+            self.misses += 1
+            return _MISS
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {"size": len(self._data), "hits": self.hits, "misses": self.misses}
 
 
 def sha256(data: bytes) -> bytes:
@@ -67,12 +116,37 @@ class KeyStore:
     node cannot forge messages from others.
     """
 
-    def __init__(self, seed: bytes = b"ringbft-repro") -> None:
+    def __init__(
+        self,
+        seed: bytes = b"ringbft-repro",
+        *,
+        verify_cache_size: int = DEFAULT_VERIFY_CACHE_SIZE,
+    ) -> None:
         self._seed = seed
+        self._signing_keys: dict[str, bytes] = {}
+        #: Shared memo caches for signature / certificate verification;
+        #: ``verify_cache_size=0`` disables memoisation entirely.
+        self.verify_cache: LruCache | None = (
+            LruCache(verify_cache_size) if verify_cache_size else None
+        )
+        self.certificate_cache: LruCache | None = (
+            LruCache(verify_cache_size) if verify_cache_size else None
+        )
 
     def signing_key(self, entity: str) -> bytes:
         """Private signing key for ``entity``; only given to that entity."""
-        return hmac.new(self._seed, b"sign|" + entity.encode(), hashlib.sha256).digest()
+        key = self._signing_keys.get(entity)
+        if key is None:
+            key = hmac.new(self._seed, b"sign|" + entity.encode(), hashlib.sha256).digest()
+            self._signing_keys[entity] = key
+        return key
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss counters of the verification memo caches."""
+        return {
+            "verify": self.verify_cache.stats() if self.verify_cache else {},
+            "certificate": self.certificate_cache.stats() if self.certificate_cache else {},
+        }
 
     def mac_key(self, a: str, b: str) -> bytes:
         """Pairwise MAC secret shared by entities ``a`` and ``b``."""
@@ -107,7 +181,23 @@ class SignatureScheme:
         return Signature(signer=entity, value=value)
 
     def verify(self, signature: Signature, payload: bytes) -> bool:
-        """Return ``True`` iff ``signature`` is a valid signature on ``payload``."""
+        """Return ``True`` iff ``signature`` is a valid signature on ``payload``.
+
+        Results are memoised in the keystore's shared LRU cache: verification
+        is deterministic, and the protocol re-checks the same signatures many
+        times (Forward certificates, retransmissions, local sharing).
+        """
+        cache = self._keystore.verify_cache
+        if cache is None:
+            return self._verify_uncached(signature, payload)
+        key = (signature.signer, signature.value, sha256(payload))
+        value = cache.get(key)
+        if value is _MISS:
+            value = self._verify_uncached(signature, payload)
+            cache.put(key, value)
+        return value
+
+    def _verify_uncached(self, signature: Signature, payload: bytes) -> bool:
         key = self._keystore.signing_key(signature.signer)
         expected = hmac.new(key, payload, hashlib.sha256).digest()
         return hmac.compare_digest(expected, signature.value)
@@ -157,6 +247,31 @@ def verify_certificate(
     *distinct* signers verify over ``payload``.  Used by replicas receiving a
     ``Forward`` message to check that the previous shard really committed the
     transaction (Figure 5, line 31).
+
+    Whole-certificate results are memoised: every replica of the next shard
+    receives ``f + 1`` matching Forwards (plus retransmissions) carrying the
+    *same* commit certificate, so the second check onwards is a cache hit.
     """
+    cache = scheme._keystore.certificate_cache
+    if cache is None:
+        return _verify_certificate_uncached(scheme, payload, signatures, required)
+    key = (
+        sha256(payload),
+        tuple(sorted((sig.signer, sig.value) for sig in signatures)),
+        required,
+    )
+    value = cache.get(key)
+    if value is _MISS:
+        value = _verify_certificate_uncached(scheme, payload, signatures, required)
+        cache.put(key, value)
+    return value
+
+
+def _verify_certificate_uncached(
+    scheme: SignatureScheme,
+    payload: bytes,
+    signatures: tuple[Signature, ...] | list[Signature],
+    required: int,
+) -> bool:
     valid_signers = {sig.signer for sig in signatures if scheme.verify(sig, payload)}
     return len(valid_signers) >= required

@@ -445,11 +445,17 @@ class MessageStats:
 
     sent_count: dict[str, int] = field(default_factory=dict)
     sent_bytes: dict[str, int] = field(default_factory=dict)
+    #: Client requests this node dropped instead of processing, by reason
+    #: (e.g. ``unroutable`` when the ring cannot route the involved shards).
+    dropped_requests: dict[str, int] = field(default_factory=dict)
 
     def record(self, message: Message) -> None:
         name = message.type_name
         self.sent_count[name] = self.sent_count.get(name, 0) + 1
         self.sent_bytes[name] = self.sent_bytes.get(name, 0) + message.wire_size()
+
+    def record_dropped_request(self, reason: str) -> None:
+        self.dropped_requests[reason] = self.dropped_requests.get(reason, 0) + 1
 
     @property
     def total_messages(self) -> int:
@@ -459,6 +465,10 @@ class MessageStats:
     def total_bytes(self) -> int:
         return sum(self.sent_bytes.values())
 
+    @property
+    def total_dropped_requests(self) -> int:
+        return sum(self.dropped_requests.values())
+
     def merged_with(self, other: "MessageStats") -> "MessageStats":
         merged = MessageStats()
         for stats in (self, other):
@@ -466,6 +476,8 @@ class MessageStats:
                 merged.sent_count[name] = merged.sent_count.get(name, 0) + count
             for name, nbytes in stats.sent_bytes.items():
                 merged.sent_bytes[name] = merged.sent_bytes.get(name, 0) + nbytes
+            for reason, count in stats.dropped_requests.items():
+                merged.dropped_requests[reason] = merged.dropped_requests.get(reason, 0) + count
         return merged
 
 

@@ -35,6 +35,7 @@ from repro.common.messages import (
 from repro.core.records import CrossShardRecord
 from repro.consensus.pbft.log import SlotState
 from repro.consensus.pbft.replica import PbftReplica
+from repro.errors import ConfigurationError
 
 
 class RingBftReplica(PbftReplica):
@@ -56,7 +57,12 @@ class RingBftReplica(PbftReplica):
         involved = request.transaction.involved_shards
         if self.shard_id not in involved:
             return False
-        return self.ring.first_in_ring_order(involved) == self.shard_id
+        try:
+            return self.ring.first_in_ring_order(involved) == self.shard_id
+        except ConfigurationError:
+            # The transaction also names shards outside the ring; it cannot be
+            # ordered anywhere.  _redirect_client_request records the drop.
+            return False
 
     def _redirect_client_request(self, request: ClientRequest) -> None:
         """A primary that is not first in ring order relays the request onward."""
@@ -66,7 +72,11 @@ class RingBftReplica(PbftReplica):
             return
         try:
             initiator = self.ring.first_in_ring_order(involved)
-        except Exception:
+        except ConfigurationError:
+            # Ring lookup failed: the transaction involves shards that are not
+            # part of this deployment's ring.  Count the drop instead of
+            # silently swallowing it so operators can see misrouted traffic.
+            self.stats.record_dropped_request("unroutable")
             return
         if initiator == self.shard_id:
             return

@@ -1,0 +1,36 @@
+"""Pluggable execution engine: one harness, two clocks.
+
+The engine package decouples *what* a deployment runs (replicas, clients,
+workloads) from *how* it is executed (deterministic simulation vs asyncio
+real time).  See :mod:`repro.engine.protocols` for the structural interfaces,
+:mod:`repro.engine.backends` for the two built-in backends, and
+:mod:`repro.engine.deployment` for the unified harness.
+"""
+
+from repro.engine.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    RealTimeBackend,
+    SimBackend,
+    backend_by_name,
+)
+from repro.engine.deployment import Deployment, RunResult
+from repro.engine.driver import OpenLoopWorkloadDriver, WorkloadDriver, run_protocol_workload
+from repro.engine.protocols import Clock, Scheduler, TimerCancelHandle, Transport
+
+__all__ = [
+    "BACKENDS",
+    "Clock",
+    "Deployment",
+    "ExecutionBackend",
+    "OpenLoopWorkloadDriver",
+    "RealTimeBackend",
+    "RunResult",
+    "Scheduler",
+    "SimBackend",
+    "TimerCancelHandle",
+    "Transport",
+    "WorkloadDriver",
+    "backend_by_name",
+    "run_protocol_workload",
+]

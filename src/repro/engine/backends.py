@@ -1,0 +1,241 @@
+"""Execution backends: the two clocks a deployment can run on.
+
+An :class:`ExecutionBackend` owns a :class:`~repro.engine.protocols.Scheduler`
+and a :class:`~repro.engine.protocols.Transport` and knows how to *drive* them:
+run until a predicate holds, run for a stretch of protocol time, report the
+current protocol time.  :class:`repro.engine.deployment.Deployment` builds the
+replicas and clients against whichever backend it is handed, so every
+experiment, benchmark, and example can run on either clock.
+
+* :class:`SimBackend` -- deterministic discrete-event simulation; protocol
+  time is virtual, a given seed always produces the same execution.
+* :class:`RealTimeBackend` -- asyncio; protocol timers are real timers and
+  message delays are real delays, optionally compressed by ``time_scale`` so
+  WAN-sized runs finish in wall-clock seconds.  The backend owns a private
+  event loop, which keeps construction eager and symmetric with the simulator
+  and lets one deployment be driven several times (run, inspect, run again).
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from typing import Callable
+
+from repro.engine.protocols import Scheduler, Transport
+from repro.errors import ConfigurationError
+from repro.rt.transport import AsyncNetwork, RealTimeScheduler
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network, NetworkConditions
+from repro.sim.regions import LatencyModel
+
+
+class ExecutionBackend(abc.ABC):
+    """A clock + scheduler + transport bundle that can host a deployment."""
+
+    #: Short identifier used by ``--backend`` flags and :func:`backend_by_name`.
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def scheduler(self) -> Scheduler:
+        """Timer facility handed to every node of the deployment."""
+
+    @property
+    @abc.abstractmethod
+    def transport(self) -> Transport:
+        """Message fabric handed to every node of the deployment."""
+
+    @property
+    def now(self) -> float:
+        """Current protocol time in seconds."""
+        return self.scheduler.now
+
+    @abc.abstractmethod
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        max_events: int | None = None,
+    ) -> bool:
+        """Drive the backend until ``predicate()`` holds or ``timeout`` protocol
+        seconds elapse; returns the final predicate value."""
+
+    @abc.abstractmethod
+    def run_for(self, duration: float, max_events: int | None = None) -> float:
+        """Drive the backend for ``duration`` protocol seconds; returns ``now``."""
+
+    @abc.abstractmethod
+    def run_until_time(self, time: float, max_events: int | None = None) -> float:
+        """Drive the backend until absolute protocol time ``time``."""
+
+    def drain(self, max_events: int | None = None) -> float:
+        """Drive until quiescent; only meaningful on the deterministic backend."""
+        raise ConfigurationError(
+            f"backend {self.name!r} has no quiescence notion; pass an explicit duration"
+        )
+
+    def close(self) -> None:
+        """Release any resources the backend owns (idempotent)."""
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SimBackend(ExecutionBackend):
+    """Deterministic discrete-event execution (the figure-regeneration mode)."""
+
+    name = "sim"
+
+    def __init__(
+        self,
+        *,
+        seed: int = 2022,
+        latency: LatencyModel | None = None,
+        conditions: NetworkConditions | None = None,
+    ) -> None:
+        self.simulator = Simulator(seed=seed)
+        self.network = Network(
+            self.simulator, latency=latency, conditions=conditions or NetworkConditions()
+        )
+
+    @property
+    def scheduler(self) -> Simulator:
+        return self.simulator
+
+    @property
+    def transport(self) -> Network:
+        return self.network
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        max_events: int | None = 5_000_000,
+    ) -> bool:
+        deadline = self.simulator.now + timeout
+        fired = 0
+        while max_events is None or fired < max_events:
+            if predicate():
+                return True
+            if self.simulator.pending_events == 0 or self.simulator.now > deadline:
+                break
+            self.simulator.step()
+            fired += 1
+        return predicate()
+
+    def run_for(self, duration: float, max_events: int | None = None) -> float:
+        return self.simulator.run(until=self.simulator.now + duration, max_events=max_events)
+
+    def run_until_time(self, time: float, max_events: int | None = None) -> float:
+        return self.simulator.run(until=time, max_events=max_events)
+
+    def drain(self, max_events: int | None = None) -> float:
+        return self.simulator.run(max_events=max_events)
+
+
+class RealTimeBackend(ExecutionBackend):
+    """Asyncio execution: the same protocol code on a real clock.
+
+    ``time_scale`` compresses every timer delay and ``latency_scale`` every
+    network delay (both default to 0.05, i.e. 20x compression), which keeps
+    demo workloads within a couple of wall-clock seconds while preserving
+    relative timer ordering.  Protocol time (``now``, latencies, timeouts) is
+    always reported *unscaled*, so results are directly comparable with the
+    simulator's.
+    """
+
+    name = "realtime"
+
+    #: Wall-clock pause between predicate polls while driving the loop.
+    POLL_INTERVAL_S = 0.002
+
+    def __init__(
+        self,
+        *,
+        seed: int = 2022,
+        latency: LatencyModel | None = None,
+        conditions: NetworkConditions | None = None,
+        time_scale: float = 0.05,
+        latency_scale: float | None = None,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._closed = False
+        self.time_scale = time_scale
+        self._scheduler = RealTimeScheduler(self._loop, seed=seed, time_scale=time_scale)
+        self._network = AsyncNetwork(
+            self._scheduler,
+            latency=latency or LatencyModel(),
+            conditions=conditions or NetworkConditions(),
+            latency_scale=latency_scale if latency_scale is not None else time_scale,
+        )
+
+    @property
+    def scheduler(self) -> RealTimeScheduler:
+        return self._scheduler
+
+    @property
+    def transport(self) -> AsyncNetwork:
+        return self._network
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        max_events: int | None = None,
+    ) -> bool:
+        async def _drive() -> bool:
+            wall_deadline = self._loop.time() + timeout * self.time_scale
+            while not predicate():
+                if self._loop.time() >= wall_deadline:
+                    break
+                await asyncio.sleep(self.POLL_INTERVAL_S)
+            return predicate()
+
+        return self._loop.run_until_complete(_drive())
+
+    def run_for(self, duration: float, max_events: int | None = None) -> float:
+        async def _sleep() -> None:
+            await asyncio.sleep(duration * self.time_scale)
+
+        self._loop.run_until_complete(_sleep())
+        return self.now
+
+    def run_until_time(self, time: float, max_events: int | None = None) -> float:
+        remaining = time - self.now
+        if remaining > 0:
+            self.run_for(remaining)
+        return self.now
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._loop.close()
+
+
+#: Registry of the built-in backends, keyed by their ``--backend`` name.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SimBackend.name: SimBackend,
+    RealTimeBackend.name: RealTimeBackend,
+}
+
+
+def backend_by_name(name: str, **kwargs) -> ExecutionBackend:
+    """Instantiate a built-in backend from its ``--backend`` name.
+
+    Keyword arguments not understood by the selected backend (e.g.
+    ``time_scale`` for the simulator) are silently dropped, so call sites can
+    pass one uniform set of knobs.
+    """
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown execution backend {name!r}; known: {sorted(BACKENDS)}"
+        )
+    if name == SimBackend.name:
+        kwargs = {k: v for k, v in kwargs.items() if k in ("seed", "latency", "conditions")}
+    return BACKENDS[name](**kwargs)

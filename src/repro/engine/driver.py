@@ -1,0 +1,172 @@
+"""Backend-agnostic workload driving.
+
+:class:`WorkloadDriver` keeps a fixed window of transactions in flight per
+client until a total completes (closed loop) -- the classical way to saturate
+a consensus pipeline -- or injects at a fixed offered rate (open loop).  It
+only talks to the deployment through the :class:`~repro.engine.protocols`
+surfaces (``scheduler.schedule`` for its refill poll, ``backend.run_until``
+to drive), so the exact same driver code runs on the simulator and on the
+asyncio real-time stack, and every run returns the unified
+:class:`~repro.engine.deployment.RunResult`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.engine.deployment import Deployment, RunResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.workloads.ycsb import YcsbWorkloadGenerator
+
+
+@dataclass
+class WorkloadDriver:
+    """Closed-loop driver: ``window`` transactions outstanding per client."""
+
+    deployment: Deployment
+    generator: "YcsbWorkloadGenerator"
+    total: int
+    window: int = 4
+    poll_interval: float = 0.05
+    submitted: int = 0
+    _client_ids: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._client_ids = list(self.deployment.clients)
+
+    @property
+    def completed(self) -> int:
+        return self.deployment.completed_transactions()
+
+    def start(self) -> None:
+        """Prime every client's window and arm the refill poll."""
+        for client_id in self._client_ids:
+            for _ in range(self.window):
+                self._submit_next(client_id)
+        self._arm_poll()
+
+    def _submit_next(self, client_id: str) -> None:
+        if self.submitted >= self.total:
+            return
+        txn = self.generator.generate(1, client_id)[0]
+        self.deployment.submit(txn, client_id)
+        self.submitted += 1
+
+    def _arm_poll(self) -> None:
+        self.deployment.scheduler.schedule(self.poll_interval, self._poll)
+
+    def _poll(self) -> None:
+        """Refill client windows as transactions complete."""
+        if self.completed >= self.total:
+            return
+        for client_id in self._client_ids:
+            client = self.deployment.clients[client_id]
+            while client.outstanding < self.window and self.submitted < self.total:
+                self._submit_next(client_id)
+        self._arm_poll()
+
+    def run(self, timeout: float = 300.0, *, check_consistency: bool = True) -> RunResult:
+        """Drive the workload until ``total`` transactions complete (or timeout)."""
+        started_at = self.deployment.now
+        wall_started = _time.perf_counter()
+        completed_before = self.completed
+        message_counts_before = self.deployment.message_counts()
+        target = completed_before + self.total
+        self.start()
+        self.deployment.backend.run_until(lambda: self.completed >= target, timeout)
+        return self.deployment.collect_result(
+            submitted=self.submitted,
+            started_at=started_at,
+            wall_started=wall_started,
+            completed_before=completed_before,
+            message_counts_before=message_counts_before,
+            check_consistency=check_consistency,
+        )
+
+
+@dataclass
+class OpenLoopWorkloadDriver:
+    """Open-loop driver: submits at ``rate_per_second`` regardless of completions."""
+
+    deployment: Deployment
+    generator: "YcsbWorkloadGenerator"
+    rate_per_second: float
+    duration: float
+    submitted: int = 0
+
+    def start(self) -> None:
+        """Schedule every submission over the injection window up front."""
+        interval = 1.0 / self.rate_per_second
+        client_ids = list(self.deployment.clients)
+        total = int(self.rate_per_second * self.duration)
+        for i in range(total):
+            client_id = client_ids[i % len(client_ids)]
+            self.deployment.scheduler.schedule(i * interval, self._make_submit(client_id))
+
+    def _make_submit(self, client_id: str):
+        def _submit() -> None:
+            txn = self.generator.generate(1, client_id)[0]
+            self.deployment.submit(txn, client_id)
+            self.submitted += 1
+
+        return _submit
+
+    def run(self, extra_drain: float = 30.0, *, check_consistency: bool = True) -> RunResult:
+        """Inject for ``duration`` protocol seconds, then drain the backlog."""
+        started_at = self.deployment.now
+        wall_started = _time.perf_counter()
+        completed_before = self.deployment.completed_transactions()
+        message_counts_before = self.deployment.message_counts()
+        self.start()
+        self.deployment.backend.run_until_time(started_at + self.duration + extra_drain)
+        return self.deployment.collect_result(
+            submitted=self.submitted,
+            started_at=started_at,
+            wall_started=wall_started,
+            completed_before=completed_before,
+            message_counts_before=message_counts_before,
+            check_consistency=check_consistency,
+        )
+
+
+def run_protocol_workload(
+    config,
+    *,
+    backend: str = "sim",
+    replica_class=None,
+    total: int = 12,
+    window: int = 2,
+    num_clients: int = 2,
+    batch_size: int = 1,
+    seed: int = 2022,
+    timeout: float = 300.0,
+    time_scale: float = 0.02,
+) -> RunResult:
+    """Build a deployment, run a generated closed-loop workload, return the result.
+
+    One-call helper used by the figure modules' protocol-mode validations and
+    the CLI demo; honours the ``--backend`` choice end to end.
+    """
+    from repro.core.replica import RingBftReplica
+    from repro.workloads.ycsb import YcsbWorkloadGenerator
+
+    deployment = Deployment.build(
+        config,
+        backend=backend,
+        replica_class=replica_class or RingBftReplica,
+        num_clients=num_clients,
+        batch_size=batch_size,
+        seed=seed,
+        time_scale=time_scale,
+    )
+    try:
+        generator = YcsbWorkloadGenerator(
+            deployment.table, deployment.directory.ring, config.workload, seed=seed
+        )
+        driver = WorkloadDriver(deployment, generator, total=total, window=window)
+        return driver.run(timeout=timeout)
+    finally:
+        deployment.close()

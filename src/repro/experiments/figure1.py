@@ -12,6 +12,8 @@ single group of that many replicas spread over the same regions.
 from __future__ import annotations
 
 from repro.analytical import DeploymentSpec, estimate, model_by_name
+from repro.config import SystemConfig, WorkloadConfig
+from repro.engine.driver import run_protocol_workload
 
 #: Replica counts on the x-axis of Figure 1.
 NODE_COUNTS: tuple[int, ...] = (4, 16, 32)
@@ -70,4 +72,35 @@ def run(node_counts: tuple[int, ...] = NODE_COUNTS) -> list[dict]:
                     "throughput_tps": round(result.throughput_tps, 1),
                 }
             )
+    return rows
+
+
+def run_protocol(
+    backend: str = "sim",
+    node_counts: tuple[int, ...] = (4,),
+    transactions: int = 10,
+    seed: int = 2022,
+) -> list[dict]:
+    """Protocol-mode smoke validation of the Figure 1 series on either backend.
+
+    Runs RingBFT with 15% cross-shard transactions (the ``RingBFT_X`` series)
+    at message level -- two shards instead of the paper's nine so both
+    backends finish in seconds -- and reports the unified run metrics.
+    """
+    rows: list[dict] = []
+    for nodes in node_counts:
+        workload = WorkloadConfig(
+            num_records=400,
+            cross_shard_fraction=CROSS_SHARD_FRACTION_X,
+            batch_size=1,
+            num_clients=2,
+            seed=seed,
+        )
+        config = SystemConfig.uniform(2, nodes, workload=workload)
+        result = run_protocol_workload(
+            config, backend=backend, total=transactions, seed=seed
+        )
+        rows.append(
+            {"protocol": "RingBFT_X", "nodes_per_group": nodes, **result.as_row()}
+        )
     return rows

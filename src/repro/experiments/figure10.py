@@ -16,9 +16,9 @@ dependencies were resolved from the remote write sets.
 from __future__ import annotations
 
 from repro.analytical import DeploymentSpec, estimate, model_by_name
-from repro.cluster import Cluster
 from repro.config import SystemConfig, WorkloadConfig
 from repro.core.replica import RingBftReplica
+from repro.engine.deployment import Deployment
 from repro.workloads.ycsb import YcsbWorkloadGenerator
 
 #: Remote-read counts on the x-axis of Figure 10.
@@ -44,9 +44,14 @@ def run(remote_reads: tuple[int, ...] = REMOTE_READS) -> list[dict]:
 
 
 def run_protocol_validation(
-    num_shards: int = 4, remote_reads: int = 6, seed: int = 7
+    num_shards: int = 4,
+    remote_reads: int = 6,
+    seed: int = 7,
+    *,
+    backend: str = "sim",
+    time_scale: float = 0.02,
 ) -> dict:
-    """Execute one complex cross-shard transaction in the simulator.
+    """Execute one complex cross-shard transaction on the chosen backend.
 
     Returns a summary stating whether the transaction completed and whether
     the dependent writes observed the remote values (i.e. the write contains
@@ -61,28 +66,49 @@ def run_protocol_validation(
         seed=seed,
     )
     system = SystemConfig.uniform(num_shards, 4, workload=workload)
-    cluster = Cluster.build(system, replica_class=RingBftReplica, num_clients=1, batch_size=1)
-    generator = YcsbWorkloadGenerator(cluster.table, cluster.directory.ring, workload, seed=seed)
-    txn = generator.cross_shard_transaction("client-0", involved=list(range(num_shards)))
-    cluster.submit(txn)
-    completed = cluster.run_until_clients_done(timeout=120.0)
+    deployment = Deployment.build(
+        system,
+        backend=backend,
+        replica_class=RingBftReplica,
+        num_clients=1,
+        batch_size=1,
+        time_scale=time_scale,
+    )
+    try:
+        generator = YcsbWorkloadGenerator(
+            deployment.table, deployment.directory.ring, workload, seed=seed
+        )
+        txn = generator.cross_shard_transaction("client-0", involved=list(range(num_shards)))
+        deployment.submit(txn)
+        completed = deployment.run_until_clients_done(timeout=120.0)
 
-    resolved_dependencies = 0
-    expected_dependencies = txn.remote_read_count
-    for op in txn.operations:
-        if not op.depends_on:
-            continue
-        replica = cluster.replica(op.shard, 0)
-        if replica.executor.already_executed(txn.txn_id):
-            written = replica.executor.result_for(txn.txn_id).writes.get(op.key, "")
-            resolved_dependencies += sum(
-                1 for dep_shard, dep_key in op.depends_on if f"{dep_shard}:{dep_key}=" in written
-            )
-    return {
-        "completed": completed,
-        "transaction": txn.txn_id,
-        "is_complex": txn.is_complex,
-        "expected_dependencies": expected_dependencies,
-        "resolved_dependencies": resolved_dependencies,
-        "latency_s": round(cluster.latencies()[0], 3) if cluster.latencies() else None,
-    }
+        resolved_dependencies = 0
+        expected_dependencies = txn.remote_read_count
+        for op in txn.operations:
+            if not op.depends_on:
+                continue
+            replica = deployment.replica(op.shard, 0)
+            if replica.executor.already_executed(txn.txn_id):
+                written = replica.executor.result_for(txn.txn_id).writes.get(op.key, "")
+                resolved_dependencies += sum(
+                    1
+                    for dep_shard, dep_key in op.depends_on
+                    if f"{dep_shard}:{dep_key}=" in written
+                )
+        latencies = deployment.latencies()
+        return {
+            "backend": backend,
+            "completed": completed,
+            "transaction": txn.txn_id,
+            "is_complex": txn.is_complex,
+            "expected_dependencies": expected_dependencies,
+            "resolved_dependencies": resolved_dependencies,
+            "latency_s": round(latencies[0], 3) if latencies else None,
+        }
+    finally:
+        deployment.close()
+
+
+def run_protocol(backend: str = "sim") -> list[dict]:
+    """Protocol-mode smoke validation of Figure 10 on either backend."""
+    return [run_protocol_validation(num_shards=3, remote_reads=4, backend=backend)]

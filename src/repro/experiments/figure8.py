@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.analytical import DeploymentSpec, estimate, model_by_name
+from repro.config import SystemConfig, WorkloadConfig
+from repro.engine.driver import run_protocol_workload
 
 #: The three sharding protocols compared throughout Figure 8.
 PROTOCOLS: tuple[str, ...] = ("RingBFT", "Sharper", "AHL")
@@ -100,3 +102,33 @@ def impact_of_clients(
         ((c, STANDARD.with_(num_clients=c)) for c in client_counts),
         x_name="num_clients",
     )
+
+
+def run_protocol(
+    backend: str = "sim",
+    shard_counts: tuple[int, ...] = (2, 3),
+    transactions: int = 12,
+    cross_shard_fraction: float = 0.30,
+    seed: int = 2022,
+) -> list[dict]:
+    """Protocol-mode smoke validation of the Figure 8 shard sweep.
+
+    Runs the standard 30% cross-shard workload at message level on the chosen
+    execution backend (scaled down from 15x28 so realtime finishes in
+    seconds) and reports the unified run metrics per shard count.
+    """
+    rows: list[dict] = []
+    for num_shards in shard_counts:
+        workload = WorkloadConfig(
+            num_records=400,
+            cross_shard_fraction=cross_shard_fraction,
+            batch_size=1,
+            num_clients=2,
+            seed=seed,
+        )
+        config = SystemConfig.uniform(num_shards, 4, workload=workload)
+        result = run_protocol_workload(
+            config, backend=backend, total=transactions, seed=seed
+        )
+        rows.append({"protocol": "RingBFT", "num_shards": num_shards, **result.as_row()})
+    return rows

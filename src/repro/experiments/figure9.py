@@ -14,9 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cluster import Cluster
 from repro.config import SystemConfig, TimerConfig, WorkloadConfig
 from repro.core.replica import RingBftReplica
+from repro.engine.deployment import Deployment
 from repro.faults.injector import FaultInjector
 from repro.metrics.collector import ThroughputSeries
 from repro.workloads.ycsb import YcsbWorkloadGenerator
@@ -37,8 +37,18 @@ class Figure9Config:
     seed: int = 2022
 
 
-def run(config: Figure9Config | None = None) -> list[dict]:
-    """Run the primary-failure experiment; one row per time bucket."""
+def run(
+    config: Figure9Config | None = None,
+    *,
+    backend: str = "sim",
+    time_scale: float = 0.05,
+) -> list[dict]:
+    """Run the primary-failure experiment; one row per time bucket.
+
+    ``backend`` selects the execution engine: ``"sim"`` (deterministic, the
+    default used by the benchmarks) or ``"realtime"`` (asyncio, delays
+    compressed by ``time_scale``).
+    """
     config = config or Figure9Config()
     timers = TimerConfig(
         local_timeout=4.0,
@@ -60,45 +70,50 @@ def run(config: Figure9Config | None = None) -> list[dict]:
         timers=timers,
         workload=workload_config,
     )
-    cluster = Cluster.build(
+    deployment = Deployment.build(
         system,
+        backend=backend,
         replica_class=RingBftReplica,
         num_clients=8,
         batch_size=1,
         seed=config.seed,
+        time_scale=time_scale,
     )
-    generator = YcsbWorkloadGenerator(
-        cluster.table, cluster.directory.ring, workload_config, seed=config.seed
-    )
+    try:
+        generator = YcsbWorkloadGenerator(
+            deployment.table, deployment.directory.ring, workload_config, seed=config.seed
+        )
 
-    # Open-loop submission spread over the clients for the whole horizon.
-    client_ids = list(cluster.clients)
-    total = int(config.submit_rate_per_s * config.horizon)
-    interval = 1.0 / config.submit_rate_per_s
-    for i in range(total):
-        client_id = client_ids[i % len(client_ids)]
+        # Open-loop submission spread over the clients for the whole horizon.
+        client_ids = list(deployment.clients)
+        total = int(config.submit_rate_per_s * config.horizon)
+        interval = 1.0 / config.submit_rate_per_s
+        for i in range(total):
+            client_id = client_ids[i % len(client_ids)]
 
-        def _submit(client_id: str = client_id) -> None:
-            txn = generator.generate(1, client_id)[0]
-            cluster.submit(txn, client_id)
+            def _submit(client_id: str = client_id) -> None:
+                txn = generator.generate(1, client_id)[0]
+                deployment.submit(txn, client_id)
 
-        cluster.simulator.schedule(i * interval, _submit)
+            deployment.scheduler.schedule(i * interval, _submit)
 
-    # Fail the primaries of the first ``failed_shards`` shards.
-    injector = FaultInjector(cluster)
-    for shard in range(config.failed_shards):
-        injector.crash_primary(shard, at=config.failure_time)
+        # Fail the primaries of the first ``failed_shards`` shards.
+        injector = FaultInjector(deployment)
+        for shard in range(config.failed_shards):
+            injector.crash_primary(shard, at=config.failure_time)
 
-    cluster.run(duration=config.horizon + 20.0, max_events=5_000_000)
+        deployment.run(duration=config.horizon + 20.0, max_events=5_000_000)
 
-    records = []
-    for client in cluster.clients.values():
-        records.extend(client.completed)
+        records = []
+        for client in deployment.clients.values():
+            records.extend(client.completed)
+        view_changes = sum(
+            1 for replica in deployment.replicas.values() if replica.view_changes_completed > 0
+        )
+    finally:
+        deployment.close()
     series = ThroughputSeries(bucket_seconds=config.bucket_seconds).compute(
         records, horizon=config.horizon
-    )
-    view_changes = sum(
-        1 for replica in cluster.replicas.values() if replica.view_changes_completed > 0
     )
     rows = [
         {
@@ -115,6 +130,24 @@ def run(config: Figure9Config | None = None) -> list[dict]:
             "failure_injected": True,
             "replicas_that_changed_view": view_changes,
             "completed_transactions": len(records),
+            "backend": backend,
         }
     )
     return rows
+
+
+#: Scaled-down scenario for cross-backend smoke validation (one failed shard).
+SMOKE_CONFIG = Figure9Config(
+    num_shards=3,
+    replicas_per_shard=4,
+    failed_shards=1,
+    failure_time=6.0,
+    horizon=24.0,
+    submit_rate_per_s=2.0,
+    bucket_seconds=6.0,
+)
+
+
+def run_protocol(backend: str = "sim", config: Figure9Config | None = None) -> list[dict]:
+    """Protocol-mode smoke run of the failure experiment on either backend."""
+    return run(config or SMOKE_CONFIG, backend=backend, time_scale=0.05)

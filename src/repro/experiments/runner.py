@@ -20,12 +20,31 @@ EXPERIMENTS: dict[str, Callable[[], list[dict]]] = {
     "figure10": figure10.run,
 }
 
+#: Protocol-mode validations, one per figure module: the same scenario executed
+#: at message level through ``Deployment`` on a chosen execution backend.
+PROTOCOL_VALIDATIONS: dict[str, Callable[..., list[dict]]] = {
+    "figure1": figure1.run_protocol,
+    "figure8": figure8.run_protocol,
+    "figure9": figure9.run_protocol,
+    "figure10": figure10.run_protocol,
+}
 
-def run_experiment(name: str) -> list[dict]:
-    """Run one registered experiment and return its rows."""
+
+def run_experiment(name: str, backend: str | None = None) -> list[dict]:
+    """Run one registered experiment and return its rows.
+
+    With ``backend=None`` the experiment regenerates its figure the usual way
+    (analytical model or simulator, depending on the figure).  With
+    ``backend="sim"`` / ``"realtime"`` the figure module's protocol-mode
+    validation runs through :class:`repro.engine.Deployment` on that backend
+    instead, producing unified run metrics.
+    """
     if name not in EXPERIMENTS:
         raise ExperimentError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[name]()
+    if backend is None:
+        return EXPERIMENTS[name]()
+    module = name.split("-")[0]
+    return PROTOCOL_VALIDATIONS[module](backend=backend)
 
 
 def format_table(rows: list[dict]) -> str:

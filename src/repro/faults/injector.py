@@ -1,8 +1,9 @@
 """Fault injector: schedules the attacks the paper analyses in Section 5.
 
-Attacks are expressed against a :class:`repro.cluster.Cluster` and scheduled
-on its simulator so experiments can fail components at precise virtual times
-(e.g. Figure 9 fails the primaries of three shards at t = 10 s).
+Attacks are expressed against a :class:`repro.engine.Deployment` and scheduled
+on its backend scheduler so experiments can fail components at precise
+protocol times (e.g. Figure 9 fails the primaries of three shards at
+t = 10 s); the injector works on either execution backend.
 
 Supported attacks:
 
@@ -20,19 +21,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cluster import Cluster
 from repro.core.replica import RingBftReplica
+from repro.engine.deployment import Deployment
 
 
 @dataclass
 class FaultInjector:
-    """Schedules faults against a running cluster."""
+    """Schedules faults against a running deployment (any backend)."""
 
-    cluster: Cluster
+    cluster: Deployment
     log: list[tuple[float, str]] = field(default_factory=list)
 
     def _record(self, description: str) -> None:
-        self.log.append((self.cluster.simulator.now, description))
+        self.log.append((self.cluster.scheduler.now, description))
 
     # ------------------------------------------------------------------
     # crash & Byzantine primaries
@@ -109,7 +110,7 @@ class FaultInjector:
         """Block every network link from ``src_shard`` to ``dst_shard`` (attack C1)."""
 
         def _block() -> None:
-            conditions = self.cluster.network.conditions
+            conditions = self.cluster.transport.conditions
             for src in self.cluster.directory.replicas_of(src_shard):
                 for dst in self.cluster.directory.replicas_of(dst_shard):
                     conditions.block_link(src, dst)
@@ -121,7 +122,7 @@ class FaultInjector:
         """Remove a previously installed shard-to-shard block."""
 
         def _heal() -> None:
-            conditions = self.cluster.network.conditions
+            conditions = self.cluster.transport.conditions
             for src in self.cluster.directory.replicas_of(src_shard):
                 for dst in self.cluster.directory.replicas_of(dst_shard):
                     conditions.unblock_link(src, dst)
@@ -137,7 +138,7 @@ class FaultInjector:
         """Drop every message independently with the given probability."""
 
         def _set() -> None:
-            self.cluster.network.conditions.drop_probability = probability
+            self.cluster.transport.conditions.drop_probability = probability
             self._record(f"message loss probability set to {probability}")
 
         self._schedule(_set, at)
@@ -158,4 +159,4 @@ class FaultInjector:
         if at is None:
             action()
         else:
-            self.cluster.simulator.schedule_at(at, action)
+            self.cluster.scheduler.schedule_at(at, action)

@@ -35,11 +35,16 @@ class MetricsSummary:
         }
 
 
-def _percentile(sorted_values: list[float], fraction: float) -> float:
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (shared by all summaries)."""
     if not sorted_values:
         return 0.0
     index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
     return sorted_values[index]
+
+
+# Backwards-compatible alias for the historical private name.
+_percentile = percentile
 
 
 def summarize(records: list[CompletedTransaction], duration: float | None = None) -> MetricsSummary:

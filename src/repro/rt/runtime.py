@@ -1,65 +1,38 @@
-"""Real-time cluster runtime: run a deployment on an asyncio event loop.
+"""Deprecated real-time harness; use :class:`repro.engine.Deployment`.
 
-``RealTimeCluster`` mirrors :class:`repro.cluster.Cluster` but executes the
-replicas in *real* time: protocol timers are asyncio timers and message
-delays are real delays (optionally compressed with ``time_scale`` /
-``latency_scale`` so that a WAN-sized deployment finishes a demo workload in
-a couple of wall-clock seconds).
+``RealTimeCluster`` predates the pluggable execution engine and duplicated
+the simulator harness's wiring over asyncio.  The unified harness now lives
+in :mod:`repro.engine.deployment`::
 
-Typical use::
+    # old                                  # new
+    RealTimeCluster(config, ...)           Deployment.build(config, backend="realtime", ...)
+    cluster.run_workload(txns, timeout)    deployment.run_workload(txns, timeout)
 
-    cluster = RealTimeCluster(SystemConfig.uniform(3, 4), time_scale=0.05)
-    result = cluster.run_workload(transactions, timeout=10.0)
-    print(result.completed, result.avg_latency)
-
-The same replica classes as the simulator are used unmodified, so anything
-validated in protocol mode (ordering, locking, view changes) behaves the same
-here -- only the clock is real.
+``RealTimeCluster`` remains as a thin shim over a realtime-backed
+:class:`Deployment`; ``run_workload`` keeps its historical wall-clock
+``timeout`` semantics, and :class:`WorkloadResult` is now an alias of the
+unified :class:`repro.engine.RunResult`.
 """
 
 from __future__ import annotations
 
-import asyncio
-from dataclasses import dataclass, field
-
-from repro.common.crypto import KeyStore
-from repro.common.types import ReplicaId
 from repro.config import SystemConfig
-from repro.consensus.directory import Directory
 from repro.consensus.pbft.client import Client
 from repro.consensus.pbft.replica import PbftReplica
+from repro.common.types import ReplicaId
 from repro.core.replica import RingBftReplica
-from repro.rt.transport import AsyncNetwork, RealTimeScheduler
-from repro.sim.network import NetworkConditions
-from repro.sim.regions import LatencyModel
-from repro.storage.kvstore import ShardedKeyValueStore
+from repro.engine.backends import RealTimeBackend
+from repro.engine.deployment import Deployment, RunResult
 from repro.txn.transaction import Transaction
 
+#: Backwards-compatible alias: real-time runs return the unified result type.
+WorkloadResult = RunResult
 
-@dataclass
-class WorkloadResult:
-    """Outcome of one real-time workload run."""
-
-    submitted: int
-    completed: int
-    wall_clock_seconds: float
-    latencies: list[float] = field(default_factory=list)
-
-    @property
-    def all_completed(self) -> bool:
-        return self.completed == self.submitted
-
-    @property
-    def avg_latency(self) -> float:
-        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
-
-    @property
-    def throughput_tps(self) -> float:
-        return self.completed / self.wall_clock_seconds if self.wall_clock_seconds else 0.0
+__all__ = ["RealTimeCluster", "WorkloadResult"]
 
 
 class RealTimeCluster:
-    """A sharded deployment executed on asyncio instead of the simulator."""
+    """Deprecated: a sharded deployment executed on the asyncio backend."""
 
     def __init__(
         self,
@@ -73,115 +46,79 @@ class RealTimeCluster:
         seed: int = 2022,
     ) -> None:
         self.config = config
-        self.replica_class = replica_class
-        self.num_clients = num_clients
-        self.batch_size = batch_size or 1
         self.time_scale = time_scale
         self.latency_scale = latency_scale
-        self.seed = seed
-
-        self.directory = Directory.from_config(config)
-        self.table = ShardedKeyValueStore(config.shard_ids, config.workload.num_records)
-        self.keystore = KeyStore()
-
-        # Populated by _start() once an event loop is running.
-        self.scheduler: RealTimeScheduler | None = None
-        self.network: AsyncNetwork | None = None
-        self.replicas: dict[ReplicaId, PbftReplica] = {}
-        self.clients: dict[str, Client] = {}
-
-    # ------------------------------------------------------------------
-    # construction (inside a running loop)
-    # ------------------------------------------------------------------
-
-    def _start(self) -> None:
-        loop = asyncio.get_event_loop()
-        self.scheduler = RealTimeScheduler(loop, seed=self.seed, time_scale=self.time_scale)
-        self.network = AsyncNetwork(
-            self.scheduler,
-            latency=LatencyModel(),
-            conditions=NetworkConditions(),
-            latency_scale=self.latency_scale,
+        self.deployment = Deployment.build(
+            config,
+            backend=RealTimeBackend(
+                seed=seed, time_scale=time_scale, latency_scale=latency_scale
+            ),
+            replica_class=replica_class,
+            num_clients=num_clients,
+            batch_size=batch_size,
+            seed=seed,
         )
-        self.replicas = {}
-        for shard in self.config.shards:
-            partition = self.table.build_partition(shard.shard_id)
-            for replica_id in self.directory.replicas_of(shard.shard_id):
-                self.replicas[replica_id] = self.replica_class(
-                    replica_id,
-                    self.directory,
-                    self.network,
-                    self.keystore,
-                    batch_size=self.batch_size,
-                    initial_records=partition,
-                )
-        self.clients = {}
-        for i in range(self.num_clients):
-            client_id = f"client-{i}"
-            self.clients[client_id] = Client(
-                client_id, self.directory, self.network, self.keystore
-            )
+
+    # ------------------------------------------------------------------
+    # legacy accessors delegating to the deployment
+    # ------------------------------------------------------------------
+
+    @property
+    def directory(self):
+        return self.deployment.directory
+
+    @property
+    def keystore(self):
+        return self.deployment.keystore
+
+    @property
+    def table(self):
+        return self.deployment.table
+
+    @property
+    def scheduler(self):
+        return self.deployment.scheduler
+
+    @property
+    def network(self):
+        return self.deployment.transport
+
+    @property
+    def replicas(self) -> dict[ReplicaId, PbftReplica]:
+        return self.deployment.replicas
+
+    @property
+    def clients(self) -> dict[str, Client]:
+        return self.deployment.clients
 
     # ------------------------------------------------------------------
     # driving workloads
     # ------------------------------------------------------------------
 
-    async def run_workload_async(
+    def run_workload(
         self, transactions: list[Transaction], timeout: float = 30.0
-    ) -> WorkloadResult:
-        """Submit ``transactions`` and await their completion (async variant)."""
-        if self.scheduler is None:
-            self._start()
-        loop = asyncio.get_event_loop()
-        started = loop.time()
-        client_ids = list(self.clients)
-        for i, txn in enumerate(transactions):
-            client = self.clients[client_ids[i % len(client_ids)]]
-            client.submit(txn)
+    ) -> RunResult:
+        """Submit ``transactions`` and await completion.
 
-        deadline = started + timeout
-        while loop.time() < deadline:
-            if all(client.outstanding == 0 for client in self.clients.values()):
-                break
-            await asyncio.sleep(0.01)
-
-        latencies = [
-            record.latency for client in self.clients.values() for record in client.completed
-        ]
-        return WorkloadResult(
-            submitted=len(transactions),
-            completed=sum(client.completed_count for client in self.clients.values()),
-            wall_clock_seconds=loop.time() - started,
-            latencies=latencies,
+        ``timeout`` keeps its historical *wall-clock* meaning here; it is
+        converted to the protocol-time timeout the unified harness expects.
+        """
+        return self.deployment.run_workload(
+            transactions, timeout=timeout / self.time_scale
         )
 
-    def run_workload(self, transactions: list[Transaction], timeout: float = 30.0) -> WorkloadResult:
-        """Blocking wrapper around :meth:`run_workload_async` (creates a loop)."""
-        return asyncio.run(self.run_workload_async(transactions, timeout))
+    def close(self) -> None:
+        self.deployment.close()
 
     # ------------------------------------------------------------------
     # introspection (valid after a run)
     # ------------------------------------------------------------------
 
     def shard_replicas(self, shard: int) -> list[PbftReplica]:
-        return [self.replicas[r] for r in self.directory.replicas_of(shard)]
+        return self.deployment.shard_replicas(shard)
 
     def ledgers_consistent(self, shard: int) -> bool:
-        chains = [
-            [block.block_hash() for block in replica.ledger.blocks()]
-            for replica in self.shard_replicas(shard)
-            if not replica.crashed
-        ]
-        for a in chains:
-            for b in chains:
-                prefix = min(len(a), len(b))
-                if a[:prefix] != b[:prefix]:
-                    return False
-        return True
+        return self.deployment.ledgers_consistent(shard)
 
     def message_counts(self) -> dict[str, int]:
-        totals: dict[str, int] = {}
-        for node in self.replicas.values():
-            for name, count in node.stats.sent_count.items():
-                totals[name] = totals.get(name, 0) + count
-        return totals
+        return self.deployment.message_counts()

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable
 
 from repro.errors import NetworkError, SimulationError

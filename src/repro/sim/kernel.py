@@ -25,17 +25,19 @@ class _Event:
     tie_breaker: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class TimerHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, simulator: "Simulator") -> None:
         self._event = event
+        self._simulator = simulator
 
     def cancel(self) -> None:
         """Cancel the pending callback; cancelling twice is harmless."""
-        self._event.cancelled = True
+        self._simulator._cancel(self._event)
 
     @property
     def cancelled(self) -> bool:
@@ -47,7 +49,13 @@ class TimerHandle:
 
 
 class Simulator:
-    """Single-threaded deterministic event loop with virtual time in seconds."""
+    """Single-threaded deterministic event loop with virtual time in seconds.
+
+    Cancelled events use *lazy deletion*: they stay in the heap (marked
+    cancelled) and are discarded when they surface, while a live-event counter
+    keeps :attr:`pending_events` O(1) -- harness loops consult it once per
+    event fired, so a linear scan would make driving the simulator O(n^2).
+    """
 
     def __init__(self, seed: int = 2022) -> None:
         self._now = 0.0
@@ -55,6 +63,7 @@ class Simulator:
         self._counter = itertools.count()
         self._rng = random.Random(seed)
         self._processed = 0
+        self._live = 0  # non-cancelled events currently in the heap
 
     @property
     def now(self) -> float:
@@ -72,7 +81,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        return self._live
+
+    def _cancel(self, event: _Event) -> None:
+        if not event.cancelled and not event.fired:
+            event.cancelled = True
+            self._live -= 1
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -80,7 +94,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         event = _Event(time=self._now + delay, tie_breaker=next(self._counter), callback=callback)
         heapq.heappush(self._queue, event)
-        return TimerHandle(event)
+        self._live += 1
+        return TimerHandle(event, self)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback`` at absolute virtual time ``time``."""
@@ -92,6 +107,8 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            event.fired = True
+            self._live -= 1
             self._now = event.time
             event.callback()
             self._processed += 1

@@ -1,6 +1,7 @@
-"""Client drivers feeding generated workloads into a simulated cluster.
+"""Legacy client-driver shims over the backend-agnostic engine drivers.
 
-Two driving modes are provided:
+Two driving modes are provided (both now live in :mod:`repro.engine.driver`
+and work on any execution backend):
 
 * :class:`ClosedLoopDriver` keeps a fixed number of transactions in flight per
   client -- the classical way to saturate a consensus pipeline, used by the
@@ -8,13 +9,19 @@ Two driving modes are provided:
 * :class:`OpenLoopDriver` injects transactions at a fixed offered rate,
   regardless of completions -- used to study overload behaviour (the paper's
   client-scaling experiment, Figure 8 XI-XII).
+
+These wrappers keep the historical ``int``-returning ``run`` signatures; new
+code should use :class:`repro.engine.WorkloadDriver` /
+:class:`repro.engine.OpenLoopWorkloadDriver` directly and consume the unified
+:class:`repro.engine.RunResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cluster import Cluster
+from repro.engine.deployment import Deployment
+from repro.engine.driver import OpenLoopWorkloadDriver, WorkloadDriver
 from repro.workloads.ycsb import YcsbWorkloadGenerator
 
 
@@ -22,85 +29,56 @@ from repro.workloads.ycsb import YcsbWorkloadGenerator
 class ClosedLoopDriver:
     """Keeps ``window`` transactions outstanding per client until ``total`` complete."""
 
-    cluster: Cluster
+    cluster: Deployment
     generator: YcsbWorkloadGenerator
     total: int
     window: int = 4
-    submitted: int = 0
-    _client_ids: list[str] = field(default_factory=list)
+    _driver: WorkloadDriver = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._client_ids = list(self.cluster.clients)
+        self._driver = WorkloadDriver(
+            self.cluster, self.generator, total=self.total, window=self.window
+        )
 
     def start(self) -> None:
         """Prime every client's window and install completion callbacks."""
-        for client_id in self._client_ids:
-            for _ in range(self.window):
-                self._submit_next(client_id)
-        self._arm_poll()
+        self._driver.start()
 
-    def _submit_next(self, client_id: str) -> None:
-        if self.submitted >= self.total:
-            return
-        txn = self.generator.generate(1, client_id)[0]
-        self.cluster.submit(txn, client_id)
-        self.submitted += 1
-
-    def _arm_poll(self) -> None:
-        self.cluster.simulator.schedule(0.05, self._poll)
-
-    def _poll(self) -> None:
-        """Refill client windows as transactions complete."""
-        if self.completed >= self.total:
-            return
-        for client_id in self._client_ids:
-            client = self.cluster.clients[client_id]
-            while client.outstanding < self.window and self.submitted < self.total:
-                self._submit_next(client_id)
-        self._arm_poll()
+    @property
+    def submitted(self) -> int:
+        return self._driver.submitted
 
     @property
     def completed(self) -> int:
-        return self.cluster.completed_transactions()
+        return self._driver.completed
 
     def run(self, timeout: float = 300.0) -> int:
         """Drive the workload until ``total`` transactions complete (or timeout)."""
-        self.start()
-        deadline = self.cluster.simulator.now + timeout
-        while self.completed < self.total and self.cluster.simulator.now < deadline:
-            if not self.cluster.simulator.step():
-                break
-        return self.completed
+        return self._driver.run(timeout=timeout, check_consistency=False).completed
 
 
 @dataclass
 class OpenLoopDriver:
     """Submits transactions at ``rate_per_second`` spread over all clients."""
 
-    cluster: Cluster
+    cluster: Deployment
     generator: YcsbWorkloadGenerator
     rate_per_second: float
     duration: float
-    submitted: int = 0
+    _driver: OpenLoopWorkloadDriver = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._driver = OpenLoopWorkloadDriver(
+            self.cluster, self.generator, self.rate_per_second, self.duration
+        )
 
     def start(self) -> None:
-        interval = 1.0 / self.rate_per_second
-        client_ids = list(self.cluster.clients)
-        total = int(self.rate_per_second * self.duration)
-        for i in range(total):
-            client_id = client_ids[i % len(client_ids)]
-            self.cluster.simulator.schedule(i * interval, self._make_submit(client_id))
+        self._driver.start()
 
-    def _make_submit(self, client_id: str):
-        def _submit() -> None:
-            txn = self.generator.generate(1, client_id)[0]
-            self.cluster.submit(txn, client_id)
-            self.submitted += 1
-
-        return _submit
+    @property
+    def submitted(self) -> int:
+        return self._driver.submitted
 
     def run(self, extra_drain: float = 30.0) -> int:
         """Inject for ``duration`` seconds, then drain, returning completions."""
-        self.start()
-        self.cluster.run(duration=self.duration + extra_drain)
-        return self.cluster.completed_transactions()
+        return self._driver.run(extra_drain=extra_drain, check_consistency=False).completed

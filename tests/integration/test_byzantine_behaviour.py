@@ -5,7 +5,7 @@ replicas and check that the well-formedness rules of Section 3 (authenticated
 communication, commit certificates) stop them from affecting safety.
 """
 
-from repro.common.crypto import KeyStore, SignatureScheme
+from repro.common.crypto import SignatureScheme
 from repro.common.messages import (
     ClientRequest,
     Commit,

@@ -1,0 +1,195 @@
+"""Integration tests: the unified Deployment harness and sim/realtime parity.
+
+The same protocol code must behave the same on both execution backends: every
+transaction of a small cross-shard workload completes, ledgers stay
+consistent, and both runs report the unified ``RunResult`` shape.
+"""
+
+import pytest
+
+from repro.config import SystemConfig, WorkloadConfig
+from repro.engine import (
+    Deployment,
+    RealTimeBackend,
+    RunResult,
+    SimBackend,
+    WorkloadDriver,
+    backend_by_name,
+)
+from repro.errors import ConfigurationError
+from repro.txn.transaction import TransactionBuilder
+from repro.workloads.ycsb import YcsbWorkloadGenerator
+
+BACKEND_NAMES = ("sim", "realtime")
+
+
+def _config(num_shards=2, cross=0.5):
+    return SystemConfig.uniform(
+        num_shards,
+        4,
+        workload=WorkloadConfig(
+            num_records=200,
+            cross_shard_fraction=cross,
+            batch_size=1,
+            num_clients=2,
+            seed=11,
+        ),
+    )
+
+
+def _mixed_workload(num_shards=2):
+    """Four single-shard transactions plus one touching every shard."""
+    transactions = []
+    for i in range(4):
+        shard = i % num_shards
+        transactions.append(
+            TransactionBuilder(f"mix-{i}", f"client-{i % 2}")
+            .read_modify_write(shard, f"user{3 + i}", f"v{i}")
+            .build()
+        )
+    builder = TransactionBuilder("mix-cross", "client-0")
+    for shard in range(num_shards):
+        builder.read_modify_write(shard, f"user{9 + shard}", f"x@{shard}")
+    transactions.append(builder.build())
+    return transactions
+
+
+class TestBackendRegistry:
+    def test_backend_by_name_builds_both_backends(self):
+        sim = backend_by_name("sim", seed=1)
+        assert isinstance(sim, SimBackend)
+        rt = backend_by_name("realtime", seed=1, time_scale=0.01)
+        assert isinstance(rt, RealTimeBackend)
+        rt.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            backend_by_name("quantum")
+
+    def test_sim_backend_ignores_realtime_only_knobs(self):
+        backend = backend_by_name("sim", seed=1, time_scale=0.01, latency_scale=0.5)
+        assert isinstance(backend, SimBackend)
+
+    def test_realtime_backend_rejects_drain(self):
+        backend = RealTimeBackend(time_scale=0.01)
+        with pytest.raises(ConfigurationError):
+            backend.drain()
+        backend.close()
+
+
+class TestDeploymentParity:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_mixed_workload_completes_with_consistent_ledgers(self, backend):
+        config = _config()
+        deployment = Deployment.build(
+            config, backend=backend, num_clients=2, batch_size=1, time_scale=0.02
+        )
+        try:
+            result = deployment.run_workload(_mixed_workload(), timeout=120.0)
+            assert isinstance(result, RunResult)
+            assert result.backend == backend
+            assert result.all_completed
+            assert result.submitted == 5
+            assert result.ledgers_consistent
+            assert result.total_messages > 0
+            assert result.message_counts.get("Forward", 0) > 0
+            assert result.avg_latency > 0
+            assert result.throughput_tps > 0
+            for shard in config.shard_ids:
+                assert deployment.executed_in_same_order(
+                    shard, {f"mix-{i}" for i in range(4)} | {"mix-cross"}
+                )
+        finally:
+            deployment.close()
+
+    def test_both_backends_apply_the_same_writes(self):
+        """The cross-shard write set lands identically under either clock."""
+        states = {}
+        for backend in BACKEND_NAMES:
+            deployment = Deployment.build(
+                _config(), backend=backend, num_clients=2, batch_size=1, time_scale=0.02
+            )
+            try:
+                result = deployment.run_workload(_mixed_workload(), timeout=120.0)
+                assert result.all_completed
+                states[backend] = {
+                    (shard, key): deployment.primary_of(shard).store.read(key)
+                    for shard in (0, 1)
+                    for key in (f"user{9 + shard}",)
+                }
+            finally:
+                deployment.close()
+        assert states["sim"] == states["realtime"]
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_workload_driver_is_backend_agnostic(self, backend):
+        config = _config(cross=0.4)
+        deployment = Deployment.build(
+            config, backend=backend, num_clients=2, batch_size=1, time_scale=0.02
+        )
+        try:
+            generator = YcsbWorkloadGenerator(
+                deployment.table, deployment.directory.ring, config.workload, seed=11
+            )
+            driver = WorkloadDriver(deployment, generator, total=8, window=2)
+            result = driver.run(timeout=300.0)
+            assert result.completed == 8
+            assert driver.submitted == 8
+            assert result.ledgers_consistent
+        finally:
+            deployment.close()
+
+    def test_repeated_runs_report_windowed_metrics(self):
+        """Driving one deployment twice yields per-run numbers, not totals."""
+        deployment = Deployment.build(_config(), backend="sim", num_clients=2, batch_size=1)
+        first = deployment.run_workload(_mixed_workload(), timeout=120.0)
+        second = deployment.run_workload(
+            [
+                TransactionBuilder("again", "client-0")
+                .read_modify_write(0, "user50", "second-run")
+                .build()
+            ],
+            timeout=120.0,
+        )
+        assert first.completed == 5 and second.completed == 1
+        assert second.submitted == 1
+        # The second window's message traffic is a fraction of the first's.
+        assert 0 < second.total_messages < first.total_messages
+        assert second.total_messages == sum(second.message_counts.values())
+        assert len(second.latencies) == 1
+
+    def test_run_result_row_shape_is_identical(self):
+        rows = {}
+        for backend in BACKEND_NAMES:
+            deployment = Deployment.build(
+                _config(), backend=backend, num_clients=2, batch_size=1, time_scale=0.02
+            )
+            try:
+                rows[backend] = deployment.run_workload(
+                    _mixed_workload(), timeout=120.0
+                ).as_row()
+            finally:
+                deployment.close()
+        assert set(rows["sim"]) == set(rows["realtime"])
+        assert rows["sim"]["completed"] == rows["realtime"]["completed"] == 5
+
+
+class TestDeploymentHarness:
+    def test_context_manager_closes_backend(self):
+        with Deployment.build(_config(), backend="realtime", time_scale=0.01) as deployment:
+            assert deployment.backend.name == "realtime"
+        # A second close is harmless.
+        deployment.close()
+
+    def test_sim_aliases_point_at_backend(self):
+        deployment = Deployment.build(_config(), backend="sim")
+        assert deployment.simulator is deployment.backend.scheduler
+        assert deployment.network is deployment.backend.transport
+        assert deployment.scheduler is deployment.simulator
+
+    def test_cluster_shim_is_a_sim_deployment(self):
+        from repro.cluster import Cluster
+
+        cluster = Cluster.build(_config(), num_clients=1)
+        assert isinstance(cluster, Deployment)
+        assert cluster.backend.name == "sim"

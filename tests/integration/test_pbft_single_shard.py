@@ -94,8 +94,6 @@ class TestPbftOrdering:
             assert replica.store.version(key) == 1
 
     def test_checkpoint_is_taken_at_interval(self):
-        from repro.config import TimerConfig
-
         cluster = build_cluster(num_shards=1, replica_class=PbftReplica)
         # Shrink the interval on the fly so a handful of batches suffices.
         for replica in cluster.shard_replicas(0):

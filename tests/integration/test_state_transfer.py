@@ -1,7 +1,7 @@
 """Integration tests: checkpoint-driven state transfer (dark replicas, recovery)."""
 
 from repro.cluster import Cluster
-from repro.config import SystemConfig, TimerConfig, WorkloadConfig
+from repro.config import SystemConfig, TimerConfig
 from repro.core.replica import RingBftReplica
 from repro.faults.injector import FaultInjector
 from repro.txn.transaction import TransactionBuilder

@@ -6,7 +6,7 @@ from repro.common.messages import Checkpoint
 from repro.config import GCP_REGIONS
 from repro.errors import NetworkError, SimulationError
 from repro.sim.kernel import Simulator
-from repro.sim.network import Network, NetworkConditions
+from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.regions import LatencyModel, region_rtt_seconds, rtt_matrix
 
