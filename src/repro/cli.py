@@ -13,6 +13,10 @@ Examples::
 
     # Run a small end-to-end protocol demo (simulator or asyncio real time).
     ringbft demo --shards 3 --replicas 4 --transactions 20 --backend sim
+
+    # Sustain open-loop Poisson load across checkpoint intervals and report
+    # the retained-state gauges (steady-state memory behaviour).
+    ringbft steady --rate 50 --intervals 20 --checkpoint-interval 4
 """
 
 from __future__ import annotations
@@ -94,6 +98,66 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0 if result.all_completed and result.ledgers_consistent else 1
 
 
+def _cmd_steady(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.config import TimerConfig
+    from repro.engine import run_sustained_load
+
+    timers = TimerConfig(
+        local_timeout=1.0,
+        remote_timeout=2.0,
+        transmit_timeout=3.0,
+        client_timeout=1.5,
+        checkpoint_interval=args.checkpoint_interval,
+    )
+    workload = WorkloadConfig(
+        num_records=1_000,
+        cross_shard_fraction=args.cross_shard,
+        batch_size=1,
+        num_clients=args.clients,
+        seed=args.seed,
+    )
+    config = SystemConfig.uniform(args.shards, args.replicas, timers=timers, workload=workload)
+    result, driver = run_sustained_load(
+        config,
+        backend=args.backend,
+        replica_class=_PROTOCOLS[args.protocol],
+        rate_per_second=args.rate,
+        checkpoint_intervals=args.intervals,
+        num_clients=args.clients,
+        seed=args.seed,
+        time_scale=args.time_scale,
+        gc_enabled=not args.no_gc,
+    )
+    series = driver.series
+    print(f"protocol            : {args.protocol}")
+    print(f"backend             : {result.backend}")
+    print(f"gc                  : {'off' if args.no_gc else 'on'}")
+    print(f"stable checkpoints  : {driver.stable_floor()}/{driver.target_sequence} sequences")
+    print(f"completed           : {result.completed}/{result.submitted}")
+    print(f"throughput          : {result.throughput_tps:.1f} txn/s (protocol time)")
+    print(f"ledgers consistent  : {result.ledgers_consistent}")
+    print("retained state      :  gauge                peak   final  growth")
+    for gauge in ("log_slots", "batches", "cross_records", "committed_txn_ids", "locked_keys"):
+        print(
+            f"                       {gauge:18s} {series.peak(gauge):6d}"
+            f" {series.final(gauge):7d}  x{series.growth_ratio(gauge):.2f}"
+        )
+    if args.json:
+        payload = {
+            "result": result.as_row(),
+            "stable_floor": driver.stable_floor(),
+            "target_sequence": driver.target_sequence,
+            "series": series.as_rows(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote               : {args.json}")
+    ok = result.ledgers_consistent and driver.stable_floor() >= driver.target_sequence
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ringbft",
@@ -137,6 +201,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="realtime backend only: compress every delay by this factor",
     )
     demo_parser.set_defaults(func=_cmd_demo)
+
+    steady_parser = sub.add_parser(
+        "steady",
+        help="sustain open-loop Poisson load across checkpoint intervals and "
+        "report retained-state gauges",
+    )
+    steady_parser.add_argument("--protocol", choices=sorted(_PROTOCOLS), default="ringbft")
+    steady_parser.add_argument("--backend", choices=sorted(BACKENDS), default="sim")
+    steady_parser.add_argument("--shards", type=int, default=2)
+    steady_parser.add_argument("--replicas", type=int, default=4)
+    steady_parser.add_argument("--clients", type=int, default=2)
+    steady_parser.add_argument("--rate", type=float, default=50.0, help="offered load (txn/s)")
+    steady_parser.add_argument(
+        "--intervals", type=int, default=20, help="checkpoint intervals to sustain"
+    )
+    steady_parser.add_argument("--checkpoint-interval", type=int, default=4)
+    steady_parser.add_argument("--cross-shard", type=float, default=0.2)
+    steady_parser.add_argument("--seed", type=int, default=2022)
+    steady_parser.add_argument(
+        "--no-gc",
+        action="store_true",
+        help="disable checkpoint-driven truncation (to demonstrate the growth it prevents)",
+    )
+    steady_parser.add_argument("--json", help="also write the sampled series to this file")
+    steady_parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.02,
+        help="realtime backend only: compress every delay by this factor",
+    )
+    steady_parser.set_defaults(func=_cmd_steady)
 
     return parser
 

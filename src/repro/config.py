@@ -73,6 +73,10 @@ class TimerConfig:
     transmit_timeout: float = 6.0
     client_timeout: float = 8.0
     checkpoint_interval: int = 100
+    #: How many times the transmit timer re-sends one record's Forward message
+    #: before giving up (a permanently dead next shard must not spin the timer
+    #: forever).  Generous by default: the rotation survives long outages.
+    max_forward_retransmissions: int = 50
 
     def __post_init__(self) -> None:
         if not self.local_timeout < self.remote_timeout < self.transmit_timeout:
@@ -82,6 +86,8 @@ class TimerConfig:
             )
         if self.checkpoint_interval <= 0:
             raise ConfigurationError("checkpoint_interval must be positive")
+        if self.max_forward_retransmissions <= 0:
+            raise ConfigurationError("max_forward_retransmissions must be positive")
 
 
 @dataclass(frozen=True)

@@ -66,6 +66,7 @@ class ConsensusLog:
     def __init__(self) -> None:
         self._slots: dict[tuple[int, int], Slot] = {}
         self._accepted_digest: dict[tuple[int, int], bytes] = {}
+        self._truncated_below: int = 0
 
     def slot(self, view: int, sequence: int) -> Slot:
         key = (view, sequence)
@@ -158,4 +159,50 @@ class ConsensusLog:
         return self.slot(view, sequence).pre_prepare
 
     def highest_sequence(self) -> int:
-        return max((seq for _, seq in self._slots), default=0)
+        """Highest sequence this log has ever covered.
+
+        Includes the truncation floor: after garbage collection empties the
+        log, a new primary must still number fresh proposals *above* the
+        truncated history, never reuse executed sequence numbers.
+        """
+        return max((seq for _, seq in self._slots), default=self._truncated_below)
+
+    # -- garbage collection ------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        """Number of slots currently retained (a steady-state memory gauge)."""
+        return len(self._slots)
+
+    def truncate_below(self, sequence: int) -> set[bytes]:
+        """Drop every slot (and accepted-digest binding) at or below ``sequence``.
+
+        This is the log-truncation step of the checkpoint protocol: once a
+        checkpoint at ``sequence`` is stable, the consensus evidence for the
+        sequences it covers is no longer needed (view changes restart from the
+        stable checkpoint, and dark replicas catch up via state transfer).
+
+        Returns the batch digests whose evidence was dropped and that no
+        *retained* slot still references, so the caller can release the batch
+        payloads as well.  A digest that also appears above the watermark
+        (e.g. re-proposed after a view change) is deliberately excluded.
+        """
+        self._truncated_below = max(self._truncated_below, sequence)
+        dropped: set[bytes] = set()
+        for key in [k for k in self._slots if k[1] <= sequence]:
+            slot = self._slots.pop(key)
+            if slot.pre_prepare is not None:
+                dropped.add(slot.pre_prepare.batch_digest)
+        for key in [k for k in self._accepted_digest if k[1] <= sequence]:
+            del self._accepted_digest[key]
+        retained = {
+            slot.pre_prepare.batch_digest
+            for slot in self._slots.values()
+            if slot.pre_prepare is not None
+        }
+        return dropped - retained
+
+
+#: Alias under the name the checkpoint protocol uses ("replicas truncate
+#: their message logs"); the two names refer to the same class.
+MessageLog = ConsensusLog

@@ -132,6 +132,15 @@ class PbftReplica(Node):
         self.executed_txn_count = 0
         self.committed_batch_count = 0
 
+        # Garbage collection ---------------------------------------------------
+        #: When True (default), a stable checkpoint truncates the consensus
+        #: log, the batch payloads, and subclass-specific records below the
+        #: safe watermark.  Disabled only by diagnostics (bench_steady_state
+        #: measures the growth this prevents).
+        self.gc_enabled = True
+        self.gc_runs = 0
+        self.gc_watermark = 0
+
     # ------------------------------------------------------------------
     # membership helpers
     # ------------------------------------------------------------------
@@ -558,14 +567,86 @@ class PbftReplica(Node):
         self._broadcast_shard(message)
 
     def _handle_checkpoint(self, message: Checkpoint) -> None:
-        self.checkpoints.add_vote(
-            message.sequence, str(message.sender), self.quorum.commit_quorum
+        became_stable = self.checkpoints.add_vote(
+            message.sequence,
+            str(message.sender),
+            self.quorum.commit_quorum,
+            message.state_digest,
+            # f + 1 backers guarantee at least one correct replica vouches for
+            # the digest stamped into the stable record.
+            digest_quorum=self.quorum.weak_quorum,
         )
+        if became_stable:
+            self._on_stable_checkpoint(message.sequence)
         # A replica kept in the dark (attack A3) sees its peers' checkpoints
         # race ahead of its own execution point; it catches up by adopting a
         # quorum-confirmed state snapshot rather than replaying every batch.
         if message.sequence >= self.last_executed + 2 * self.checkpoints.interval:
             self._request_state_transfer()
+
+    # ------------------------------------------------------------------
+    # garbage collection (checkpoint-driven log truncation)
+    # ------------------------------------------------------------------
+
+    def _on_stable_checkpoint(self, sequence: int) -> None:
+        """A checkpoint became stable: truncate everything below the safe watermark."""
+        if not self.gc_enabled:
+            return
+        watermark = self._gc_floor(sequence)
+        if watermark <= 0:
+            return
+        self._truncate_below(watermark)
+        self.gc_watermark = max(self.gc_watermark, watermark)
+        self.gc_runs += 1
+
+    def _gc_floor(self, stable_sequence: int) -> int:
+        """Highest sequence this replica may safely truncate.
+
+        Never beyond the stable checkpoint (view changes restart from it),
+        never beyond this replica's own execution and ledger progress (a dark
+        replica must keep the evidence it has not applied yet -- it catches up
+        via state transfer, after which :meth:`_install_state` re-runs GC).
+        Subclasses lower the floor further for in-flight cross-shard work.
+        """
+        return min(stable_sequence, self.last_executed, self._ledger_appended)
+
+    def _truncate_below(self, watermark: int) -> None:
+        releasable = self.log.truncate_below(watermark)
+        # A digest may still be awaiting in-order execution or ledger append
+        # (RingBFT executes out of band); those payloads must survive.
+        still_needed = set(self._pending_execution.values()) | set(self._ledger_pending.values())
+        for digest in releasable - still_needed:
+            self.batches.pop(digest, None)
+        self._committed_sequences = {s for s in self._committed_sequences if s > watermark}
+        self._abandoned_sequences = {s for s in self._abandoned_sequences if s > watermark}
+        # Executed transactions answer retransmissions through the executor's
+        # result store, so their dedup entries here are redundant.
+        self._committed_txn_ids = {
+            txn_id
+            for txn_id in self._committed_txn_ids
+            if not self.executor.already_executed(txn_id)
+        }
+        self._enqueued_txns = {
+            txn_id
+            for txn_id in self._enqueued_txns
+            if not self.executor.already_executed(txn_id)
+        }
+
+    def retained_state(self) -> dict[str, int]:
+        """Gauges of retained consensus state; flat in steady state once GC runs."""
+        return {
+            "log_slots": self.log.slot_count,
+            "batches": len(self.batches),
+            "pending_execution": len(self._pending_execution),
+            "ledger_pending": len(self._ledger_pending),
+            "committed_sequences": len(self._committed_sequences),
+            "committed_txn_ids": len(self._committed_txn_ids),
+            "checkpoint_batches": self.checkpoints.log_size,
+            "stable_checkpoints": self.checkpoints.stable_record_count,
+            "checkpoint_votes": self.checkpoints.pending_vote_count,
+            "locked_keys": self.locks.locked_key_count,
+            "lock_pending": len(self.locks.pending_sequences),
+        }
 
     # ------------------------------------------------------------------
     # state transfer (dark-replica / recovered-replica catch-up)
@@ -635,6 +716,9 @@ class PbftReplica(Node):
         for unblocked in self.locks.fast_forward(reply.last_executed):
             self._run_lock_continuation(unblocked)
         self.state_transfers_completed += 1
+        # The adopted snapshot covers everything up to the stable point: the
+        # evidence this replica buffered while it lagged can now be released.
+        self._on_stable_checkpoint(self.checkpoints.last_stable_sequence)
 
     # ------------------------------------------------------------------
     # view change

@@ -46,6 +46,9 @@ class CrossShardRecord:
 
     #: Retransmission counter for the transmit timer.
     retransmissions: int = 0
+    #: True once the transmit timer gave up re-sending Forward messages (the
+    #: per-record cap was reached; see ``TimerConfig.max_forward_retransmissions``).
+    retransmissions_exhausted: bool = False
 
     def record_forward(self, origin_shard: int, sender: str) -> int:
         """Count a Forward message; returns the number of distinct senders so far."""
@@ -70,3 +73,18 @@ class CrossShardRecord:
     @property
     def txn_ids(self) -> tuple[str, ...]:
         return tuple(req.transaction.txn_id for req in self.requests)
+
+    def settled(self, is_initiator: bool) -> bool:
+        """Whether this replica needs nothing further from the record.
+
+        A settled record is eligible for checkpoint-driven retirement: the
+        fragment executed locally and -- on the initiator shard -- the client
+        has been answered.  An unsettled record pins the garbage-collection
+        watermark below its sequence so that an in-flight rotation is never
+        dropped mid-ring.
+        """
+        if not self.executed or self.sequence is None:
+            return False
+        if is_initiator:
+            return self.replied
+        return self.execute_sent

@@ -45,7 +45,18 @@ class RingBftReplica(PbftReplica):
         super().__init__(*args, **kwargs)
         self.ring = self.directory.ring
         self._cross_records: dict[bytes, CrossShardRecord] = {}
-        self._relayed: set[tuple[str, bytes, str]] = set()
+        #: Local-relay dedup, keyed by batch digest so retirement can drop a
+        #: record's relay history with it: digest -> {(type_name, sender)}.
+        self._relayed: dict[bytes, set[tuple[str, str]]] = {}
+        #: Digests of records retired by checkpoint GC, mapped to the GC
+        #: watermark that retired them.  Late Forward/Execute retransmissions
+        #: for these digests are dropped instead of resurrecting the record;
+        #: entries older than two checkpoint windows are pruned, so the map is
+        #: bounded by the retirement rate of two intervals.
+        self._retired_digests: dict[bytes, int] = {}
+        self.cross_records_retired = 0
+        #: Forward rotations abandoned after exhausting the retransmission cap.
+        self.forward_give_ups = 0
         #: Byzantine knob: drop outgoing Forward messages (partial communication attack).
         self.drop_forwards = False
 
@@ -206,9 +217,21 @@ class RingBftReplica(PbftReplica):
         )
 
     def _on_transmit_timeout(self, digest: bytes) -> None:
-        """Re-transmit the Forward message until the rotation completes (5.1.1)."""
+        """Re-transmit the Forward message until the rotation completes (5.1.1).
+
+        Retransmissions are capped (``TimerConfig.max_forward_retransmissions``)
+        so that a permanently unreachable next shard cannot spin this timer
+        forever; giving up is surfaced in the replica's stats, and the record
+        stays pending (``pending_cross_shard``) for the operator to see.
+        """
         record = self._cross_records.get(digest)
         if record is None or record.executed or not record.locked:
+            return
+        if record.retransmissions >= self.timers_config.max_forward_retransmissions:
+            if not record.retransmissions_exhausted:
+                record.retransmissions_exhausted = True
+                self.forward_give_ups += 1
+                self.stats.record_dropped_request("forward-retransmissions-exhausted")
             return
         record.retransmissions += 1
         self._send_forward(record)
@@ -232,10 +255,11 @@ class RingBftReplica(PbftReplica):
             return
         if sender.index != self.replica_id.index:
             return
-        key = (message.type_name, digest, str(sender))
-        if key in self._relayed:
+        seen = self._relayed.setdefault(digest, set())
+        key = (message.type_name, str(sender))
+        if key in seen:
             return
-        self._relayed.add(key)
+        seen.add(key)
         self.broadcast([r for r in self.shard_peers if r != self.replica_id], message)
 
     def _verify_forward(self, message: Forward) -> bool:
@@ -254,6 +278,11 @@ class RingBftReplica(PbftReplica):
         )
 
     def _handle_forward(self, message: Forward) -> None:
+        if message.batch_digest in self._retired_digests:
+            # Late retransmission for a rotation this replica already completed
+            # and garbage-collected; resurrecting the record would re-propose
+            # an executed batch.
+            return
         if not self._verify_forward(message):
             return
         digest = message.batch_digest
@@ -344,6 +373,7 @@ class RingBftReplica(PbftReplica):
         self._release_lock_token(record.batch_digest.hex())
         self._maybe_checkpoint(record.sequence, tuple(transactions))
         self._send_execute(record)
+        self._maybe_retire_record(record)
 
     def _send_execute(self, record: CrossShardRecord) -> None:
         if record.execute_sent:
@@ -361,6 +391,8 @@ class RingBftReplica(PbftReplica):
 
     def _handle_execute(self, message: Execute) -> None:
         digest = message.batch_digest
+        if digest in self._retired_digests:
+            return
         record = self._cross_records.get(digest)
         if record is None:
             # Execute for a batch we have not locked yet; remember the writes.
@@ -391,6 +423,7 @@ class RingBftReplica(PbftReplica):
         record.replied = True
         for request in record.requests:
             self._reply_to_client(request, record.sequence)
+        self._maybe_retire_record(record)
 
     # ------------------------------------------------------------------
     # Remote view change (Figure 6)
@@ -400,6 +433,10 @@ class RingBftReplica(PbftReplica):
         if message.target_shard != self.shard_id:
             return
         digest = message.batch_digest
+        if digest in self._retired_digests:
+            # The rotation completed here before GC retired it; a view change
+            # on its behalf would be pure churn.
+            return
         record = self._record_for(digest, frozenset())
         self._relay_locally(message, digest)
         sender = message.sender
@@ -409,6 +446,32 @@ class RingBftReplica(PbftReplica):
         count = record.record_remote_view(sender_shard, str(sender))
         if count >= self.directory.quorum(sender_shard).weak_quorum:
             self._initiate_view_change()
+
+    # ------------------------------------------------------------------
+    # state-transfer integration
+    # ------------------------------------------------------------------
+
+    def _install_state(self, reply) -> None:
+        """Also retire rotations the adopted snapshot already covers.
+
+        A replica that missed a rotation's Forward/Execute quorums never
+        executes the record locally -- its effects arrive wholesale with the
+        snapshot.  Left in place, that permanently unsettled record would pin
+        the GC floor below its sequence and this replica would never truncate
+        again, so it is retired here and the truncation sweep re-run.
+        """
+        super()._install_state(reply)
+        stale = [
+            digest
+            for digest, record in self._cross_records.items()
+            if record.requests
+            and all(self.executor.already_executed(txn_id) for txn_id in record.txn_ids)
+            and not record.settled(self._is_initiator(record))
+        ]
+        for digest in stale:
+            self._retire_record(digest, self.last_executed)
+        if stale:
+            self._on_stable_checkpoint(self.checkpoints.last_stable_sequence)
 
     # ------------------------------------------------------------------
     # view-change integration
@@ -436,6 +499,88 @@ class RingBftReplica(PbftReplica):
                     self._local_timeout(),
                     lambda digest=record.batch_digest: self._on_forwarded_timeout(digest),
                 )
+
+    # ------------------------------------------------------------------
+    # garbage collection (checkpoint-driven record retirement)
+    # ------------------------------------------------------------------
+
+    def _is_initiator(self, record: CrossShardRecord) -> bool:
+        if not record.involved_shards:
+            return False
+        return self.ring.first_in_ring_order(record.involved_shards) == self.shard_id
+
+    def _gc_floor(self, stable_sequence: int) -> int:
+        """Never truncate at or above an unsettled cross-shard record.
+
+        An in-flight rotation still needs its consensus slot (the commit
+        certificate inside retransmitted Forward messages is assembled from
+        the slot's signed Commit votes), so the watermark stays strictly below
+        the earliest unsettled record.  A record whose retransmission cap was
+        exhausted no longer pins the floor: nothing will re-send its Forward,
+        so keeping its evidence would silently re-disable GC for the rest of
+        the run; the record itself stays (small, and visible to operators via
+        ``pending_cross_shard``).
+        """
+        floor = super()._gc_floor(stable_sequence)
+        for record in self._cross_records.values():
+            if record.sequence is None or record.retransmissions_exhausted:
+                continue
+            if not record.settled(self._is_initiator(record)):
+                floor = min(floor, record.sequence - 1)
+        return floor
+
+    def _retire_record(self, digest: bytes, retired_at: int) -> None:
+        del self._cross_records[digest]
+        self._relayed.pop(digest, None)
+        self._retired_digests[digest] = retired_at
+        self.cancel_timer(f"transmit-{digest.hex()}")
+        self.cancel_timer(f"forwarded-{digest.hex()}")
+        self.cancel_timer(f"remote-{digest.hex()}")
+        self.cross_records_retired += 1
+
+    def _maybe_retire_record(self, record: CrossShardRecord) -> None:
+        """Retire a record the moment it settles below the stable checkpoint.
+
+        Most records settle *after* the checkpoint covering them stabilises
+        (execution trails consensus), so the checkpoint-time sweep would hold
+        them for one extra interval; retiring eagerly keeps the retained set
+        tight to the genuinely in-flight rotations.
+        """
+        if not self.gc_enabled or record.sequence is None:
+            return
+        if record.sequence > self.checkpoints.last_stable_sequence:
+            return
+        if not record.settled(self._is_initiator(record)):
+            return
+        if record.batch_digest in self._cross_records:
+            # Stamp the *current* stable sequence, not the record's own (it
+            # may lie far below after a long stall): the dedup entry must
+            # survive two checkpoint windows from now to absorb stragglers.
+            self._retire_record(record.batch_digest, self.checkpoints.last_stable_sequence)
+
+    def _truncate_below(self, watermark: int) -> None:
+        retired = [
+            digest
+            for digest, record in self._cross_records.items()
+            if record.sequence is not None
+            and record.sequence <= watermark
+            and record.settled(self._is_initiator(record))
+        ]
+        for digest in retired:
+            self._retire_record(digest, watermark)
+        # The retirement dedup map only needs to outlive straggling
+        # retransmissions; two checkpoint windows is ample.
+        horizon = watermark - 2 * self.checkpoints.interval
+        for digest in [d for d, seq in self._retired_digests.items() if seq <= horizon]:
+            del self._retired_digests[digest]
+        super()._truncate_below(watermark)
+
+    def retained_state(self) -> dict[str, int]:
+        gauges = super().retained_state()
+        gauges["cross_records"] = len(self._cross_records)
+        gauges["relayed_keys"] = sum(len(keys) for keys in self._relayed.values())
+        gauges["retired_digests"] = len(self._retired_digests)
+        return gauges
 
     # ------------------------------------------------------------------
     # introspection helpers used by tests and experiments

@@ -15,7 +15,13 @@ from repro.engine.backends import (
     backend_by_name,
 )
 from repro.engine.deployment import Deployment, RunResult
-from repro.engine.driver import OpenLoopWorkloadDriver, WorkloadDriver, run_protocol_workload
+from repro.engine.driver import (
+    OpenLoopWorkloadDriver,
+    SustainedLoadDriver,
+    WorkloadDriver,
+    run_protocol_workload,
+    run_sustained_load,
+)
 from repro.engine.protocols import Clock, Scheduler, TimerCancelHandle, Transport
 
 __all__ = [
@@ -28,9 +34,11 @@ __all__ = [
     "RunResult",
     "Scheduler",
     "SimBackend",
+    "SustainedLoadDriver",
     "TimerCancelHandle",
     "Transport",
     "WorkloadDriver",
     "backend_by_name",
     "run_protocol_workload",
+    "run_sustained_load",
 ]

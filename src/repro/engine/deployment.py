@@ -357,6 +357,28 @@ class Deployment:
                 totals[name] = totals.get(name, 0) + count
         return totals
 
+    def retained_state_totals(self) -> dict[str, int]:
+        """Deployment-wide retained-state gauges (summed over all replicas).
+
+        Sampled periodically by the sustained-load harness to prove that
+        steady-state memory is bounded by O(checkpoint_interval + in-flight)
+        rather than O(total committed work).
+        """
+        totals: dict[str, int] = {}
+        for replica in self.replicas.values():
+            for gauge, value in replica.retained_state().items():
+                totals[gauge] = totals.get(gauge, 0) + value
+        return totals
+
+    def committed_batch_total(self) -> int:
+        """Total batches committed across all replicas (cumulative work gauge)."""
+        return sum(replica.committed_batch_count for replica in self.replicas.values())
+
+    def set_gc_enabled(self, enabled: bool) -> None:
+        """Toggle checkpoint-driven garbage collection on every replica."""
+        for replica in self.replicas.values():
+            replica.gc_enabled = enabled
+
     def dropped_request_counts(self) -> dict[str, int]:
         """Client requests replicas dropped as unroutable, by reason."""
         totals: dict[str, int] = {}

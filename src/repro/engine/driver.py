@@ -12,11 +12,13 @@ asyncio real-time stack, and every run returns the unified
 
 from __future__ import annotations
 
+import random
 import time as _time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.engine.deployment import Deployment, RunResult
+from repro.metrics.collector import RetainedStateSeries
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.workloads.ycsb import YcsbWorkloadGenerator
@@ -130,6 +132,179 @@ class OpenLoopWorkloadDriver:
             message_counts_before=message_counts_before,
             check_consistency=check_consistency,
         )
+
+
+@dataclass
+class SustainedLoadDriver:
+    """Open-loop Poisson driver sustained across checkpoint intervals.
+
+    Injects transactions with exponential inter-arrival times at
+    ``rate_per_second`` until every replica's *stable* checkpoint reaches
+    ``checkpoint_intervals`` full intervals, sampling the deployment's
+    retained-state gauges every ``sample_interval`` protocol seconds along the
+    way.  Because arrivals are scheduled lazily (each one schedules the next)
+    the driver itself holds O(1) state no matter how long the run is, and
+    because it only talks to the deployment through the scheduler/backend
+    protocols it runs unchanged on the simulator and the real-time stack.
+    """
+
+    deployment: Deployment
+    generator: "YcsbWorkloadGenerator"
+    rate_per_second: float
+    checkpoint_intervals: int
+    seed: int = 2022
+    sample_interval: float = 1.0
+    max_duration: float = 600.0
+    drain: float = 10.0
+    submitted: int = 0
+    series: RetainedStateSeries = field(default_factory=RetainedStateSeries)
+    _rng: random.Random = field(init=False, repr=False)
+    _client_ids: list[str] = field(default_factory=list, repr=False)
+    _next_client: int = 0
+    _started_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second <= 0:
+            raise ValueError("rate_per_second must be positive")
+        if self.checkpoint_intervals <= 0:
+            raise ValueError("checkpoint_intervals must be positive")
+        self._rng = random.Random(self.seed)
+        self._client_ids = list(self.deployment.clients)
+
+    # -- progress ----------------------------------------------------------
+
+    @property
+    def target_sequence(self) -> int:
+        return self.checkpoint_intervals * self.deployment.config.timers.checkpoint_interval
+
+    def stable_floor(self) -> int:
+        """The lowest stable-checkpoint sequence across live replicas."""
+        stables = [
+            replica.checkpoints.last_stable_sequence
+            for replica in self.deployment.replicas.values()
+            if not replica.crashed
+        ]
+        return min(stables, default=0)
+
+    def _target_reached(self) -> bool:
+        return self.stable_floor() >= self.target_sequence
+
+    def _injection_done(self) -> bool:
+        return (
+            self._target_reached()
+            or self.deployment.now - self._started_at >= self.max_duration
+        )
+
+    # -- open-loop Poisson arrivals ----------------------------------------
+
+    def start(self) -> None:
+        self._started_at = self.deployment.now
+        self._sample()
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        self.deployment.scheduler.schedule(
+            self._rng.expovariate(self.rate_per_second), self._arrive
+        )
+
+    def _arrive(self) -> None:
+        if self._injection_done():
+            return
+        client_id = self._client_ids[self._next_client % len(self._client_ids)]
+        self._next_client += 1
+        txn = self.generator.generate(1, client_id)[0]
+        self.deployment.submit(txn, client_id)
+        self.submitted += 1
+        self._schedule_next_arrival()
+
+    # -- retained-state sampling -------------------------------------------
+
+    def _sample(self) -> None:
+        self.series.record(
+            time=self.deployment.now - self._started_at,
+            committed_batches=self.deployment.committed_batch_total(),
+            gauges=self.deployment.retained_state_totals(),
+        )
+        if not self._injection_done():
+            self.deployment.scheduler.schedule(self.sample_interval, self._sample)
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self, *, check_consistency: bool = True) -> RunResult:
+        """Sustain the load until the target stable checkpoint, then drain."""
+        started_at = self.deployment.now
+        wall_started = _time.perf_counter()
+        completed_before = self.deployment.completed_transactions()
+        message_counts_before = self.deployment.message_counts()
+        self.start()
+        self.deployment.backend.run_until(self._target_reached, self.max_duration)
+        self.deployment.backend.run_until_time(self.deployment.now + self.drain)
+        # One final sample after the drain: in-flight work has settled, so this
+        # is the truest picture of steady-state retained memory.
+        self._sample()
+        return self.deployment.collect_result(
+            submitted=self.submitted,
+            started_at=started_at,
+            wall_started=wall_started,
+            completed_before=completed_before,
+            message_counts_before=message_counts_before,
+            check_consistency=check_consistency,
+        )
+
+
+def run_sustained_load(
+    config,
+    *,
+    backend: str = "sim",
+    replica_class=None,
+    rate_per_second: float = 40.0,
+    checkpoint_intervals: int = 20,
+    num_clients: int = 2,
+    batch_size: int = 1,
+    seed: int = 2022,
+    sample_interval: float = 0.25,
+    max_duration: float = 600.0,
+    time_scale: float = 0.02,
+    gc_enabled: bool = True,
+):
+    """Build a deployment and sustain Poisson load across checkpoint intervals.
+
+    Returns ``(RunResult, SustainedLoadDriver)`` -- the driver exposes the
+    sampled :class:`~repro.metrics.collector.RetainedStateSeries` and the
+    stable-checkpoint floor reached.  ``gc_enabled=False`` runs the identical
+    workload with checkpoint-driven truncation switched off, which is how
+    ``bench_steady_state`` measures the growth GC prevents.
+    """
+    from repro.core.replica import RingBftReplica
+    from repro.workloads.ycsb import YcsbWorkloadGenerator
+
+    deployment = Deployment.build(
+        config,
+        backend=backend,
+        replica_class=replica_class or RingBftReplica,
+        num_clients=num_clients,
+        batch_size=batch_size,
+        seed=seed,
+        time_scale=time_scale,
+    )
+    try:
+        deployment.set_gc_enabled(gc_enabled)
+        generator = YcsbWorkloadGenerator(
+            deployment.table, deployment.directory.ring, config.workload, seed=seed
+        )
+        driver = SustainedLoadDriver(
+            deployment,
+            generator,
+            rate_per_second=rate_per_second,
+            checkpoint_intervals=checkpoint_intervals,
+            seed=seed,
+            sample_interval=sample_interval,
+            max_duration=max_duration,
+        )
+        result = driver.run()
+        return result, driver
+    finally:
+        deployment.close()
 
 
 def run_protocol_workload(

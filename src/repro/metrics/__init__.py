@@ -1,5 +1,17 @@
 """Throughput and latency metrics collection."""
 
-from repro.metrics.collector import MetricsSummary, ThroughputSeries, summarize
+from repro.metrics.collector import (
+    MetricsSummary,
+    RetainedStateSample,
+    RetainedStateSeries,
+    ThroughputSeries,
+    summarize,
+)
 
-__all__ = ["MetricsSummary", "ThroughputSeries", "summarize"]
+__all__ = [
+    "MetricsSummary",
+    "RetainedStateSample",
+    "RetainedStateSeries",
+    "ThroughputSeries",
+    "summarize",
+]

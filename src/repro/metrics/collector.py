@@ -8,7 +8,7 @@ completion records produced by the simulator into those numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.consensus.pbft.client import CompletedTransaction
 
@@ -68,6 +68,70 @@ def summarize(records: list[CompletedTransaction], duration: float | None = None
         p50_latency=_percentile(latencies, 0.50),
         p99_latency=_percentile(latencies, 0.99),
     )
+
+
+@dataclass(frozen=True)
+class RetainedStateSample:
+    """One snapshot of the deployment's retained-state gauges.
+
+    ``committed_batches`` records the cumulative work done when the sample was
+    taken, so a series can distinguish *flat* retained state (bounded by the
+    checkpoint interval plus in-flight work) from state that grows with total
+    committed work -- the signature of a garbage-collection leak.
+    """
+
+    time: float
+    committed_batches: int
+    gauges: dict[str, int]
+
+    def as_row(self) -> dict:
+        row: dict = {"time_s": round(self.time, 3), "committed_batches": self.committed_batches}
+        row.update(self.gauges)
+        return row
+
+
+@dataclass
+class RetainedStateSeries:
+    """Periodic samples of retained-state gauges over one sustained run."""
+
+    samples: list[RetainedStateSample] = field(default_factory=list)
+
+    def record(self, time: float, committed_batches: int, gauges: dict[str, int]) -> None:
+        self.samples.append(
+            RetainedStateSample(time=time, committed_batches=committed_batches, gauges=dict(gauges))
+        )
+
+    def values(self, gauge: str) -> list[int]:
+        return [sample.gauges.get(gauge, 0) for sample in self.samples]
+
+    def peak(self, gauge: str) -> int:
+        return max(self.values(gauge), default=0)
+
+    def final(self, gauge: str) -> int:
+        values = self.values(gauge)
+        return values[-1] if values else 0
+
+    def growth_ratio(self, gauge: str) -> float:
+        """Peak of the second half of the run over peak of the first half.
+
+        A garbage-collected gauge plateaus, so the ratio stays near 1; a
+        leaking gauge grows with committed work, so the ratio approaches the
+        ratio of work done (about 2 for a constant-rate run, and beyond).
+        """
+        values = self.values(gauge)
+        if len(values) < 4:
+            return 1.0
+        half = len(values) // 2
+        first = max(values[:half])
+        second = max(values[half:])
+        return second / max(first, 1)
+
+    def is_flat(self, gauge: str, tolerance: float = 1.5) -> bool:
+        """Whether ``gauge`` plateaued (its growth ratio stays within ``tolerance``)."""
+        return self.growth_ratio(gauge) <= tolerance
+
+    def as_rows(self) -> list[dict]:
+        return [sample.as_row() for sample in self.samples]
 
 
 @dataclass

@@ -43,7 +43,13 @@ class ZipfianGenerator:
             self._zetan = self._zeta(n, theta)
             self._zeta2 = self._zeta(2, theta)
             self._alpha = 1.0 / (1.0 - theta)
-            self._eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+            # For n == 2 both zeta terms coincide and the eta denominator is
+            # zero; eta only shapes the tail beyond rank 1, which is empty.
+            denominator = 1 - self._zeta2 / self._zetan
+            if denominator > 0:
+                self._eta = (1 - (2.0 / n) ** (1 - theta)) / denominator
+            else:
+                self._eta = 0.0
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:
@@ -58,7 +64,10 @@ class ZipfianGenerator:
             return 0
         if uz < 1.0 + 0.5 ** self._theta:
             return 1
-        return int(self._n * (self._eta * u - self._eta + 1) ** self._alpha)
+        # For u near 1.0 the Gray et al. formula can round up to exactly n,
+        # one past the valid range; clamp into [0, n).
+        index = int(self._n * (self._eta * u - self._eta + 1) ** self._alpha)
+        return min(max(index, 0), self._n - 1)
 
 
 @dataclass

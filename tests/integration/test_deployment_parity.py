@@ -139,6 +139,45 @@ class TestDeploymentParity:
         finally:
             deployment.close()
 
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    def test_sustained_load_driver_is_backend_agnostic(self, backend):
+        from repro.config import TimerConfig
+        from repro.engine import run_sustained_load
+
+        timers = TimerConfig(
+            local_timeout=1.0,
+            remote_timeout=2.0,
+            transmit_timeout=3.0,
+            client_timeout=1.5,
+            checkpoint_interval=2,
+        )
+        config = SystemConfig.uniform(
+            2,
+            4,
+            timers=timers,
+            workload=WorkloadConfig(
+                num_records=200,
+                cross_shard_fraction=0.2,
+                batch_size=1,
+                num_clients=2,
+                seed=11,
+            ),
+        )
+        result, driver = run_sustained_load(
+            config,
+            backend=backend,
+            rate_per_second=100.0,
+            checkpoint_intervals=4,
+            seed=11,
+            sample_interval=0.2,
+            max_duration=120.0,
+            time_scale=0.01,
+        )
+        assert driver.stable_floor() >= driver.target_sequence
+        assert result.ledgers_consistent
+        assert driver.series.samples, "retained-state gauges were sampled"
+        assert driver.series.peak("log_slots") > 0
+
     def test_repeated_runs_report_windowed_metrics(self):
         """Driving one deployment twice yields per-run numbers, not totals."""
         deployment = Deployment.build(_config(), backend="sim", num_clients=2, batch_size=1)

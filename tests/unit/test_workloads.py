@@ -44,6 +44,25 @@ class TestZipfian:
         with pytest.raises(WorkloadError):
             ZipfianGenerator(10, 1.2, random.Random(1))
 
+    @pytest.mark.parametrize("theta", [0.1, 0.3, 0.5, 0.7, 0.9, 0.99])
+    def test_never_returns_out_of_range_index(self, theta):
+        """Regression: for u near 1.0 the YCSB formula rounded up to exactly n."""
+        for n in (2, 3, 10, 100):
+            gen = ZipfianGenerator(n, theta, random.Random(11))
+            for _ in range(20_000):
+                assert 0 <= gen.next() < n
+
+    def test_u_near_one_is_clamped(self):
+        """Drive the formula directly with u -> 1.0, where it used to return n."""
+
+        class _AlmostOne(random.Random):
+            def random(self):
+                return 1.0 - 1e-12
+
+        for theta in (0.2, 0.5, 0.8, 0.99):
+            gen = ZipfianGenerator(10, theta, _AlmostOne())
+            assert gen.next() == 9
+
 
 class TestSingleShardTransactions:
     def test_targets_requested_shard(self):
