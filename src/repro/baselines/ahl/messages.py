@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.codec import register_wire_type
+
 from repro.common.crypto import Signature
 from repro.common.messages import ClientRequest, Message
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Prepare2PC(Message):
     """Committee -> involved shards: start local consensus and vote on the batch."""
@@ -29,11 +32,12 @@ class Prepare2PC(Message):
         return {
             "type": self.type_name,
             "sender": str(self.sender),
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "gseq": self.global_sequence,
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Vote2PC(Message):
     """Involved shard -> committee: this shard's commit/abort vote for the batch."""
@@ -50,12 +54,13 @@ class Vote2PC(Message):
         return {
             "type": self.type_name,
             "sender": str(self.sender),
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "shard": self.shard,
             "commit": self.commit,
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class CommitteeVote(Message):
     """Committee-internal agreement vote on the final 2PC decision."""
@@ -70,11 +75,12 @@ class CommitteeVote(Message):
         return {
             "type": self.type_name,
             "sender": str(self.sender),
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "commit": self.commit,
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class CommitteeDecision(Message):
     """Committee-internal broadcast installing the agreed decision."""
@@ -89,11 +95,12 @@ class CommitteeDecision(Message):
         return {
             "type": self.type_name,
             "sender": str(self.sender),
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "commit": self.commit,
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Decide2PC(Message):
     """Committee -> involved shards: the global commit/abort decision."""
@@ -109,6 +116,6 @@ class Decide2PC(Message):
         return {
             "type": self.type_name,
             "sender": str(self.sender),
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "commit": self.commit,
         }

@@ -146,9 +146,9 @@ class AhlReplica(PbftReplica):
             batch_digest=record.batch_digest,
             global_sequence=global_sequence,
         )
-        for shard in sorted(record.involved_shards):
-            if shard == self.shard_id:
-                continue
+        audience = [s for s in sorted(record.involved_shards) if s != self.shard_id]
+        self._authenticate_cross_shard_broadcast(message, audience)
+        for shard in audience:
             self.broadcast(list(self.directory.replicas_of(shard)), message)
 
     def _handle_prepare_2pc(self, message: Prepare2PC) -> None:
@@ -186,6 +186,7 @@ class AhlReplica(PbftReplica):
             commit=True,
         )
         committee = self.directory.replicas_of(self.committee_shard)
+        self._authenticate_cross_shard_broadcast(vote, (self.committee_shard,))
         self.broadcast(list(committee), vote, include_self=self.is_committee_member)
         if record.decided:
             # The global decision raced ahead of our local locking.
@@ -215,6 +216,7 @@ class AhlReplica(PbftReplica):
         if not self._all_votes_collected(record) or record.decision_sent:
             return
         vote = CommitteeVote(sender=self.replica_id, batch_digest=record.batch_digest, commit=True)
+        self._authenticate_cross_shard_broadcast(vote, (self.committee_shard,))
         self.broadcast(list(self.directory.replicas_of(self.committee_shard)), vote, include_self=True)
 
     def _handle_committee_vote(self, message: CommitteeVote) -> None:
@@ -235,6 +237,7 @@ class AhlReplica(PbftReplica):
 
     def _send_decision(self, record: AhlRecord) -> None:
         decision = Decide2PC(sender=self.replica_id, batch_digest=record.batch_digest, commit=True)
+        self._authenticate_cross_shard_broadcast(decision, record.involved_shards)
         for shard in sorted(record.involved_shards):
             self.broadcast(
                 list(self.directory.replicas_of(shard)),

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.common.codec import register_wire_type
+
 from repro.common.messages import ClientRequest, Message
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class CrossPropose(Message):
     """Initiator primary -> all replicas of all involved shards: global proposal."""
@@ -29,11 +32,12 @@ class CrossPropose(Message):
         return {
             "type": self.type_name,
             "sender": str(self.sender),
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "gseq": self.global_sequence,
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class CrossPrepare(Message):
     """Global prepare vote broadcast to every replica of every involved shard."""
@@ -48,11 +52,12 @@ class CrossPrepare(Message):
         return {
             "type": self.type_name,
             "sender": str(self.sender),
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "shard": self.shard,
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class CrossCommit(Message):
     """Global commit vote broadcast to every replica of every involved shard."""
@@ -67,6 +72,6 @@ class CrossCommit(Message):
         return {
             "type": self.type_name,
             "sender": str(self.sender),
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "shard": self.shard,
         }

@@ -147,6 +147,7 @@ class SharperReplica(PbftReplica):
             batch_digest=digest,
             global_sequence=self._global_sequence,
         )
+        self._authenticate_cross_shard_broadcast(message, record.involved_shards)
         self.broadcast(self._involved_replicas(record), message, include_self=True)
 
     def _handle_cross_propose(self, message: CrossPropose) -> None:
@@ -164,6 +165,7 @@ class SharperReplica(PbftReplica):
         prepare = CrossPrepare(
             sender=self.replica_id, batch_digest=message.batch_digest, shard=self.shard_id
         )
+        self._authenticate_cross_shard_broadcast(prepare, record.involved_shards)
         self.broadcast(self._involved_replicas(record), prepare, include_self=True)
         # Votes may have raced ahead of the proposal; re-evaluate both quorums.
         self._advance_record(record)
@@ -198,6 +200,7 @@ class SharperReplica(PbftReplica):
             commit = CrossCommit(
                 sender=self.replica_id, batch_digest=record.batch_digest, shard=self.shard_id
             )
+            self._authenticate_cross_shard_broadcast(commit, record.involved_shards)
             self.broadcast(self._involved_replicas(record), commit, include_self=True)
         if (
             not record.committed

@@ -30,6 +30,7 @@ from repro.baselines.ahl.replica import AhlReplica
 from repro.baselines.sharper.replica import SharperReplica
 from repro.engine import BACKENDS, Deployment, WorkloadDriver
 from repro.experiments.runner import EXPERIMENTS, format_table, run_experiment
+from repro.metrics.collector import cache_efficiency, format_cache_stats
 from repro.workloads.ycsb import YcsbWorkloadGenerator
 
 _PROTOCOLS = {
@@ -37,6 +38,15 @@ _PROTOCOLS = {
     "ahl": AhlReplica,
     "sharper": SharperReplica,
 }
+
+
+def _print_cache_block(result) -> None:
+    """Print one aligned 'hot-path caches' block for a RunResult."""
+    cache_lines = format_cache_stats(result.cache_stats)
+    if cache_lines:
+        print("hot-path caches     : " + cache_lines[0])
+        for line in cache_lines[1:]:
+            print("                      " + line)
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -95,6 +105,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"average latency     : {result.avg_latency * 1000:.1f} ms")
     print(f"messages exchanged  : {result.total_messages}")
     print(f"ledgers consistent  : {result.ledgers_consistent}")
+    _print_cache_block(result)
     return 0 if result.all_completed and result.ledgers_consistent else 1
 
 
@@ -144,12 +155,14 @@ def _cmd_steady(args: argparse.Namespace) -> int:
             f"                       {gauge:18s} {series.peak(gauge):6d}"
             f" {series.final(gauge):7d}  x{series.growth_ratio(gauge):.2f}"
         )
+    _print_cache_block(result)
     if args.json:
         payload = {
             "result": result.as_row(),
             "stable_floor": driver.stable_floor(),
             "target_sequence": driver.target_sequence,
             "series": series.as_rows(),
+            "cache_stats": cache_efficiency(result.cache_stats),
         }
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)

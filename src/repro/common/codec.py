@@ -1,0 +1,532 @@
+"""Canonical binary wire codec for protocol payloads.
+
+Every MAC, signature, and digest in the stack bottoms out in a canonical byte
+representation of a message payload.  The original implementation re-ran
+``json.dumps(..., sort_keys=True, default=str)`` on every call, which has two
+problems:
+
+* **cost** -- JSON canonicalization dominated the CPU profile the paper
+  attributes to cryptography (the payload is re-serialised on every send,
+  every reception, and every retransmission of the same message);
+* **ambiguity** -- ``default=str`` silently stringifies bytes and nested
+  objects, so two *distinct* payloads (``b"\\x01"`` vs ``"b'\\\\x01'"``, int
+  keys vs their string form) could serialize -- and therefore digest -- to the
+  same bytes.
+
+This module replaces it with a compact, deterministic, *injective* binary
+encoding: every value is emitted as a one-byte type tag followed by a
+length-prefixed body, so distinct values of distinct types can never collide.
+Container contents are self-delimiting, dictionaries and sets are ordered by
+their encoded key bytes (total and type-safe, unlike comparing mixed-type
+keys), and registered dataclasses round-trip losslessly through
+:func:`decode_canonical`.
+
+The module also hosts the process-wide codec statistics (payload/digest memo
+hit counters surfaced through ``RunResult`` and the CLI) and the *legacy
+mode* switch used by ``benchmarks/bench_hotpath.py`` to reproduce the pre-
+codec cost profile for an honest before/after comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import struct
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Callable
+
+from repro.errors import MalformedMessageError
+
+_U32 = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+# One-byte type tags.  Distinct tags per type are what make the encoding
+# injective: bytes can never collide with the str of those bytes, nor an int
+# key with its decimal string.
+_NONE = b"N"
+_TRUE = b"T"
+_FALSE = b"F"
+_INT = b"I"
+_FLOAT = b"D"
+_STR = b"S"
+_BYTES = b"B"
+_LIST = b"L"
+_TUPLE = b"U"
+_DICT = b"M"
+_FROZENSET = b"Z"
+_OBJECT = b"O"
+_ENUM = b"E"
+
+
+# ---------------------------------------------------------------------------
+# wire-type registry (for lossless decode of dataclasses and enums)
+# ---------------------------------------------------------------------------
+
+_WIRE_TYPES: dict[str, type] = {}
+
+
+def register_wire_type(cls: type) -> type:
+    """Register a dataclass or enum so :func:`decode_canonical` can rebuild it.
+
+    Usable as a decorator.  Registration is keyed by class name; the protocol
+    message set has globally unique names, which the registry enforces.
+    """
+    name = cls.__name__
+    existing = _WIRE_TYPES.get(name)
+    if existing is not None and existing is not cls:
+        raise MalformedMessageError(f"wire type name {name!r} registered twice")
+    _WIRE_TYPES[name] = cls
+    return cls
+
+
+def registered_wire_types() -> dict[str, type]:
+    """Snapshot of the registry (used by the round-trip property tests)."""
+    return dict(_WIRE_TYPES)
+
+
+# ---------------------------------------------------------------------------
+# encoding
+# ---------------------------------------------------------------------------
+
+
+# Length prefixes are 4-byte big-endian; the first 256 are interned since
+# almost every string/collection on the hot path is short.
+_LEN = [_U32.pack(i) for i in range(256)]
+_pack_u32 = _U32.pack
+
+
+def _pack_len(n: int) -> bytes:
+    return _LEN[n] if n < 256 else _pack_u32(n)
+
+
+def _encode_str(value: str, out: list[bytes]) -> None:
+    body = value.encode()
+    out.append(_STR)
+    out.append(_pack_len(len(body)))
+    out.append(body)
+
+
+def _encode_int(value: int, out: list[bytes]) -> None:
+    body = str(value).encode()
+    out.append(_INT)
+    out.append(_pack_len(len(body)))
+    out.append(body)
+
+
+def _encode_bytes(value: bytes, out: list[bytes]) -> None:
+    out.append(_BYTES)
+    out.append(_pack_len(len(value)))
+    out.append(value)
+
+
+def _encode_float(value: float, out: list[bytes]) -> None:
+    out.append(_FLOAT)
+    out.append(_F64.pack(value))
+
+
+def _encode_bool(value: bool, out: list[bytes]) -> None:
+    out.append(_TRUE if value else _FALSE)
+
+
+def _encode_dict(value: dict, out: list[bytes]) -> None:
+    out.append(_DICT)
+    out.append(_pack_len(len(value)))
+    try:
+        # Fast path: homogeneous (string or int) keys sort natively.  Keys
+        # are unique, so the tuple comparison never reaches the values.
+        items = sorted(value.items())
+    except TypeError:
+        # Mixed key types: order by encoded key bytes (total and type-safe).
+        items = [kv for _, kv in sorted((encode_canonical(k), (k, v)) for k, v in value.items())]
+    for key, val in items:
+        _encode_into(key, out)
+        _encode_into(val, out)
+
+
+def _encode_list(value: list, out: list[bytes]) -> None:
+    out.append(_LIST)
+    out.append(_pack_len(len(value)))
+    for item in value:
+        _encode_into(item, out)
+
+
+def _encode_tuple(value: tuple, out: list[bytes]) -> None:
+    out.append(_TUPLE)
+    out.append(_pack_len(len(value)))
+    for item in value:
+        _encode_into(item, out)
+
+
+def _encode_frozenset(value, out: list[bytes]) -> None:
+    encoded = sorted(encode_canonical(item) for item in value)
+    out.append(_FROZENSET)
+    out.append(_pack_len(len(encoded)))
+    out.extend(encoded)
+
+
+_ENCODERS: dict[type, Callable] = {
+    str: _encode_str,
+    int: _encode_int,
+    bytes: _encode_bytes,
+    float: _encode_float,
+    bool: _encode_bool,
+    dict: _encode_dict,
+    list: _encode_list,
+    tuple: _encode_tuple,
+    frozenset: _encode_frozenset,
+    set: _encode_frozenset,
+}
+
+#: Per-dataclass encoding plan: (object header, per-field name headers, names).
+_DATACLASS_PLANS: dict[type, tuple[bytes, tuple[bytes, ...], tuple[str, ...]]] = {}
+
+
+def _dataclass_plan(cls: type) -> tuple[bytes, tuple[bytes, ...], tuple[str, ...]]:
+    plan = _DATACLASS_PLANS.get(cls)
+    if plan is None:
+        name = cls.__name__.encode()
+        names = tuple(f.name for f in fields(cls))
+        header = _OBJECT + _pack_len(len(name)) + name + _pack_len(len(names))
+        field_headers = tuple(
+            _pack_len(len(n.encode())) + n.encode() for n in names
+        )
+        plan = (header, field_headers, names)
+        _DATACLASS_PLANS[cls] = plan
+    return plan
+
+
+def _encode_into(value: Any, out: list[bytes]) -> None:
+    encoder = _ENCODERS.get(type(value))
+    if encoder is not None:
+        encoder(value, out)
+        return
+    if value is None:
+        out.append(_NONE)
+        return
+    if isinstance(value, enum.Enum):
+        name = type(value).__name__.encode()
+        out.append(_ENUM)
+        out.append(_pack_len(len(name)))
+        out.append(name)
+        _encode_into(value.value, out)
+        return
+    if is_dataclass(value):
+        header, field_headers, names = _dataclass_plan(type(value))
+        out.append(header)
+        for field_header, fname in zip(field_headers, names):
+            out.append(field_header)
+            _encode_into(getattr(value, fname), out)
+        return
+    if isinstance(value, int):  # int subclasses outside the Enum machinery
+        _encode_int(int(value), out)
+        return
+    if isinstance(value, str):
+        _encode_str(str(value), out)
+        return
+    raise MalformedMessageError(
+        f"cannot canonically encode {type(value).__name__}: {value!r}"
+    )
+
+
+def encode_canonical(value: Any) -> bytes:
+    """Deterministic, injective byte encoding of ``value``.
+
+    Two calls with equal values always return identical bytes; two calls with
+    *distinct* values (including distinct types carrying the same repr) always
+    return distinct bytes.
+    """
+    out: list[bytes] = []
+    _encode_into(value, out)
+    return b"".join(out)
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+
+def _read_len(data: bytes, pos: int) -> tuple[int, int]:
+    end = pos + 4
+    if end > len(data):
+        raise MalformedMessageError("truncated length prefix")
+    return _U32.unpack_from(data, pos)[0], end
+
+
+def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise MalformedMessageError("truncated canonical encoding")
+    tag = data[pos : pos + 1]
+    pos += 1
+    if tag == _NONE:
+        return None, pos
+    if tag == _TRUE:
+        return True, pos
+    if tag == _FALSE:
+        return False, pos
+    if tag == _INT:
+        length, pos = _read_len(data, pos)
+        if pos + length > len(data):
+            raise MalformedMessageError("truncated int body")
+        body = data[pos : pos + length]
+        value = int(body)
+        # Reject non-canonical spellings ("+5", " 5", "5_0"): decode must be
+        # the exact inverse of encode, or two distinct frames could decode to
+        # equal values and defeat digest-by-reencode checks.
+        if str(value).encode() != body:
+            raise MalformedMessageError(f"non-canonical int body {body!r}")
+        return value, pos + length
+    if tag == _STR:
+        length, pos = _read_len(data, pos)
+        if pos + length > len(data):
+            raise MalformedMessageError("truncated str body")
+        return data[pos : pos + length].decode(), pos + length
+    if tag == _BYTES:
+        length, pos = _read_len(data, pos)
+        if pos + length > len(data):
+            raise MalformedMessageError("truncated bytes body")
+        return data[pos : pos + length], pos + length
+    if tag == _FLOAT:
+        return _F64.unpack_from(data, pos)[0], pos + 8
+    if tag == _DICT:
+        count, pos = _read_len(data, pos)
+        result = {}
+        for _ in range(count):
+            key, pos = _decode_from(data, pos)
+            val, pos = _decode_from(data, pos)
+            result[key] = val
+        return result, pos
+    if tag == _LIST:
+        count, pos = _read_len(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_from(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == _TUPLE:
+        count, pos = _read_len(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_from(data, pos)
+            items.append(item)
+        return tuple(items), pos
+    if tag == _FROZENSET:
+        count, pos = _read_len(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_from(data, pos)
+            items.append(item)
+        return frozenset(items), pos
+    if tag == _ENUM:
+        length, pos = _read_len(data, pos)
+        name = data[pos : pos + length].decode()
+        pos += length
+        value, pos = _decode_from(data, pos)
+        cls = _WIRE_TYPES.get(name)
+        if cls is None:
+            raise MalformedMessageError(f"unknown enum wire type {name!r}")
+        return cls(value), pos
+    if tag == _OBJECT:
+        length, pos = _read_len(data, pos)
+        name = data[pos : pos + length].decode()
+        pos += length
+        count, pos = _read_len(data, pos)
+        kwargs = {}
+        for _ in range(count):
+            flen, pos = _read_len(data, pos)
+            fname = data[pos : pos + flen].decode()
+            pos += flen
+            value, pos = _decode_from(data, pos)
+            kwargs[fname] = value
+        cls = _WIRE_TYPES.get(name)
+        if cls is None:
+            raise MalformedMessageError(f"unknown object wire type {name!r}")
+        return cls(**kwargs), pos
+    raise MalformedMessageError(f"unknown canonical type tag {tag!r}")
+
+
+def decode_canonical(data: bytes) -> Any:
+    """Inverse of :func:`encode_canonical` for registered wire types.
+
+    Every malformed input fails with :class:`MalformedMessageError` -- the
+    low-level struct/unicode/constructor errors a truncated or corrupted
+    frame can trigger are translated, so callers (eventually: a socket
+    transport fed attacker-controlled bytes) have one error to catch.
+    """
+    try:
+        value, pos = _decode_from(data, 0)
+    except MalformedMessageError:
+        raise
+    except (struct.error, ValueError, TypeError, UnicodeDecodeError, IndexError) as exc:
+        raise MalformedMessageError(f"malformed canonical encoding: {exc}") from exc
+    if pos != len(data):
+        raise MalformedMessageError(
+            f"{len(data) - pos} trailing bytes after canonical value"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
+# codec statistics (memo-cache efficacy counters)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CodecStats:
+    """Process-wide counters for the payload/digest memo caches.
+
+    ``payload_misses`` counts actual encodings, ``payload_hits`` counts calls
+    served from a frozen object's memo; likewise for digests.  The counters
+    are cumulative for the process -- callers interested in one run window
+    snapshot before and delta after (see ``Deployment.collect_result``).
+    """
+
+    payload_hits: int = 0
+    payload_misses: int = 0
+    digest_hits: int = 0
+    digest_misses: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "payload_hits": self.payload_hits,
+            "payload_misses": self.payload_misses,
+            "digest_hits": self.digest_hits,
+            "digest_misses": self.digest_misses,
+        }
+
+    def delta_since(self, before: dict[str, int] | None) -> dict[str, dict[str, int]]:
+        """Hit/miss deltas since ``before``, shaped like ``LruCache.stats()``."""
+        base = before or {}
+        payload_hits = self.payload_hits - base.get("payload_hits", 0)
+        payload_misses = self.payload_misses - base.get("payload_misses", 0)
+        digest_hits = self.digest_hits - base.get("digest_hits", 0)
+        digest_misses = self.digest_misses - base.get("digest_misses", 0)
+        return {
+            "payload": {"hits": payload_hits, "misses": payload_misses},
+            "digest": {"hits": digest_hits, "misses": digest_misses},
+        }
+
+    def reset(self) -> None:
+        self.payload_hits = 0
+        self.payload_misses = 0
+        self.digest_hits = 0
+        self.digest_misses = 0
+
+
+STATS = CodecStats()
+
+
+# ---------------------------------------------------------------------------
+# legacy mode (pre-codec cost profile, kept for the hot-path benchmark)
+# ---------------------------------------------------------------------------
+
+
+class _LegacyMode:
+    """When enabled, payloads fall back to per-call JSON canonicalization.
+
+    This reproduces the pre-codec behaviour -- ``json.dumps(...,
+    sort_keys=True, default=str)`` with stringified dict keys, no memoization
+    anywhere -- so ``bench_hotpath.py`` can measure the real before/after gap
+    inside one process.  Never enable it outside benchmarks: the JSON form is
+    *not* injective.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+LEGACY = _LegacyMode()
+
+
+class legacy_json_encoding:
+    """Context manager forcing the legacy JSON path (benchmarks only).
+
+    Re-entrant: the previous mode is restored on exit, so a nested context
+    can never silently switch an enclosing benchmark scope back to the
+    optimized path (or vice versa).
+    """
+
+    def __init__(self) -> None:
+        self._previous = False
+
+    def __enter__(self) -> None:
+        self._previous = LEGACY.enabled
+        LEGACY.enabled = True
+
+    def __exit__(self, *exc_info) -> None:
+        LEGACY.enabled = self._previous
+
+
+def _jsonify(value: Any) -> Any:
+    """Mimic the old payload shape: stringified dict keys, stringified bytes."""
+    if isinstance(value, dict):
+        return {str(key): _jsonify(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    return value
+
+
+def legacy_json_bytes(value: Any) -> bytes:
+    """The pre-codec canonical form: per-call, JSON, ``default=str`` fallback."""
+    return json.dumps(_jsonify(value), sort_keys=True, default=str).encode()
+
+
+def encode_payload(build_fields: Callable[[], Any]) -> bytes:
+    """Encode a payload honouring the legacy-mode switch (no memoization here)."""
+    if LEGACY.enabled:
+        return legacy_json_bytes(build_fields())
+    return encode_canonical(build_fields())
+
+
+# ---------------------------------------------------------------------------
+# per-object memoisation (frozen dataclasses)
+# ---------------------------------------------------------------------------
+#
+# Frozen dataclasses still own a plain ``__dict__``; the memo slots below are
+# written through ``object.__setattr__`` and are invisible to the generated
+# ``__eq__``/``__hash__`` and to ``dataclasses.fields`` (so the canonical
+# encoding of an object never includes its own caches).
+
+
+def memoized_payload(obj: Any, build_fields: Callable[[], Any]) -> bytes:
+    """Canonical payload of ``obj``, encoded at most once per object."""
+    if LEGACY.enabled:
+        return legacy_json_bytes(build_fields())
+    cached = obj.__dict__.get("_payload_memo")
+    if cached is None:
+        cached = encode_canonical(build_fields())
+        object.__setattr__(obj, "_payload_memo", cached)
+        STATS.payload_misses += 1
+    else:
+        STATS.payload_hits += 1
+    return cached
+
+
+def prime_payload(obj: Any, payload: bytes) -> None:
+    """Seed an object's payload memo with canonical bytes computed elsewhere.
+
+    Used when one object's payload is known to equal another's by
+    construction (e.g. a re-built ``ClientRequest`` whose signature is
+    excluded from its own payload), so the clone need not re-encode.
+    """
+    if LEGACY.enabled:
+        return
+    object.__setattr__(obj, "_payload_memo", payload)
+
+
+def memoized_digest(obj: Any, build_fields: Callable[[], Any]) -> bytes:
+    """SHA-256 of the canonical payload, hashed at most once per object."""
+    if LEGACY.enabled:
+        return hashlib.sha256(legacy_json_bytes(build_fields())).digest()
+    cached = obj.__dict__.get("_digest_memo")
+    if cached is None:
+        cached = hashlib.sha256(memoized_payload(obj, build_fields)).digest()
+        object.__setattr__(obj, "_digest_memo", cached)
+        STATS.digest_misses += 1
+    else:
+        STATS.digest_hits += 1
+    return cached

@@ -27,6 +27,7 @@ import hmac
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.common.codec import register_wire_type
 from repro.errors import CryptoError
 
 DIGEST_SIZE = 32
@@ -90,6 +91,7 @@ def digest_hex(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Signature:
     """A digital signature over a message digest.
@@ -142,16 +144,35 @@ class KeyStore:
         return key
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
-        """Hit/miss counters of the verification memo caches."""
+        """Hit/miss counters of the verification memo caches.
+
+        The ``is not None`` checks matter: :class:`LruCache` defines
+        ``__len__``, so a merely *empty* cache is falsy and a plain truthiness
+        test would misreport it as disabled.
+        """
         return {
-            "verify": self.verify_cache.stats() if self.verify_cache else {},
-            "certificate": self.certificate_cache.stats() if self.certificate_cache else {},
+            "verify": self.verify_cache.stats() if self.verify_cache is not None else {},
+            "certificate": (
+                self.certificate_cache.stats() if self.certificate_cache is not None else {}
+            ),
         }
 
     def mac_key(self, a: str, b: str) -> bytes:
         """Pairwise MAC secret shared by entities ``a`` and ``b``."""
         lo, hi = sorted((a, b))
         return hmac.new(self._seed, b"mac|" + lo.encode() + b"|" + hi.encode(), hashlib.sha256).digest()
+
+    def group_key(self, label: str) -> bytes:
+        """Symmetric secret shared by a broadcast audience (e.g. one shard).
+
+        Group keys power the multicast authentication fast path: a sender
+        computes *one* MAC over a broadcast's (memoised) payload instead of a
+        per-peer MAC vector.  Like pairwise MACs they offer authenticity
+        without non-repudiation -- any group member could have produced the
+        tag -- which is exactly the intra-shard trust model of Section 3;
+        cross-shard evidence still uses digital signatures.
+        """
+        return hmac.new(self._seed, b"group|" + label.encode(), hashlib.sha256).digest()
 
 
 class SignatureScheme:
@@ -232,6 +253,26 @@ class MacAuthenticator:
     def verify(self, peer: str, payload: bytes, tag: bytes) -> bool:
         """Verify a MAC tag received from ``peer``."""
         expected = hmac.new(self._key_for(peer), payload, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, tag)
+
+    def _group_key_for(self, label: str) -> bytes:
+        cache_key = "group|" + label
+        if cache_key not in self._cache:
+            self._cache[cache_key] = self.keystore.group_key(label)
+        return self._cache[cache_key]
+
+    def group_tag(self, label: str, payload: bytes) -> bytes:
+        """One MAC tag authenticating ``payload`` for a whole audience.
+
+        This is the broadcast fast path: the sender resolves the payload once
+        (it is memoised on the message) and produces a single tag for the
+        audience instead of ``n`` per-peer tags over ``n`` re-serialisations.
+        """
+        return hmac.new(self._group_key_for(label), payload, hashlib.sha256).digest()
+
+    def verify_group(self, label: str, payload: bytes, tag: bytes) -> bool:
+        """Verify an audience tag produced by :meth:`group_tag`."""
+        expected = hmac.new(self._group_key_for(label), payload, hashlib.sha256).digest()
         return hmac.compare_digest(expected, tag)
 
 

@@ -47,7 +47,10 @@ class MerkleTree:
     def __init__(self, leaves: list[bytes] | tuple[bytes, ...]) -> None:
         if not leaves:
             raise LedgerError("cannot build a Merkle tree over zero leaves")
-        self._leaves = [bytes(leaf) for leaf in leaves]
+        # Leaves on the hot path are memoised digests shared across replicas;
+        # copying them per tree would defeat the sharing, so only coerce
+        # non-bytes inputs (bytearray/memoryview from tests and tools).
+        self._leaves = [leaf if type(leaf) is bytes else bytes(leaf) for leaf in leaves]
         self._levels: list[list[bytes]] = [[_hash_leaf(leaf) for leaf in self._leaves]]
         while len(self._levels[-1]) > 1:
             current = self._levels[-1]

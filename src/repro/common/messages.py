@@ -5,14 +5,22 @@ change), and the PBFT view-change sub-protocol the paper reuses.  Each
 message knows its *wire size* in bytes; the per-type sizes come straight from
 Section 8 ("The sizes of messages communicated during RingBFT consensus
 are ...") and feed the analytical performance model.
+
+Canonical byte representations (for MACs, signatures, digests) go through the
+binary codec in :mod:`repro.common.codec`: payload fields carry raw values
+(bytes digests, int shard keys) and the codec's type-tagged encoding keeps
+them injective.  ``payload_bytes``/``digest`` are memoised on the frozen
+message objects, so each message is encoded and hashed at most once per
+process no matter how many times it is sent, received, or retransmitted.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.common import codec
+from repro.common.codec import register_wire_type
 from repro.common.crypto import Signature, sha256
 from repro.common.types import ReplicaId
 from repro.txn.transaction import Transaction
@@ -57,14 +65,58 @@ class Message:
         return MESSAGE_SIZES.get(self.type_name, 512)
 
     def payload_bytes(self) -> bytes:
-        """Canonical byte representation used for MACs/signatures."""
-        return json.dumps(self._payload_fields(), sort_keys=True, default=str).encode()
+        """Canonical byte representation used for MACs/signatures.
+
+        Encoded with the injective binary codec and memoised on the frozen
+        instance: repeated sends/receptions of the same object reuse the
+        cached bytes instead of re-serialising.
+        """
+        return codec.memoized_payload(self, self._payload_fields)
 
     def _payload_fields(self) -> dict:
         return {"type": self.type_name, "sender": str(self.sender)}
 
     def digest(self) -> bytes:
-        return sha256(self.payload_bytes())
+        return codec.memoized_digest(self, self._payload_fields)
+
+    # ------------------------------------------------------------------
+    # broadcast authentication side-channel
+    # ------------------------------------------------------------------
+    #
+    # Group-MAC tags ride alongside the frozen message (one tag per audience
+    # label, e.g. "shard:2").  They live outside the dataclass fields so they
+    # never affect equality, hashing, or the canonical payload -- exactly like
+    # a MAC trailer on a real wire frame.  Tags are keyed by audience so a
+    # message relayed through several shards accumulates one tag per shard
+    # without the relays clobbering each other.
+
+    def attach_auth(self, label: str, tag: bytes) -> None:
+        tags = self.__dict__.get("_auth_tags")
+        if tags is None:
+            tags = {}
+            object.__setattr__(self, "_auth_tags", tags)
+        tags[label] = tag
+
+    def auth_tag(self, label: str) -> bytes | None:
+        tags = self.__dict__.get("_auth_tags")
+        return None if tags is None else tags.get(label)
+
+    def auth_verified(self, label: str) -> bool:
+        """Whether some replica already verified this object's tag for ``label``.
+
+        Verification of an HMAC tag is a pure function of the (shared) key and
+        the (memoised) payload, so once one audience member checked it the
+        result can be reused by every later delivery of the same object.
+        """
+        verified = self.__dict__.get("_auth_verified")
+        return verified is not None and label in verified
+
+    def mark_auth_verified(self, label: str) -> None:
+        verified = self.__dict__.get("_auth_verified")
+        if verified is None:
+            verified = set()
+            object.__setattr__(self, "_auth_verified", verified)
+        verified.add(label)
 
 
 # ---------------------------------------------------------------------------
@@ -72,6 +124,7 @@ class Message:
 # ---------------------------------------------------------------------------
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class ClientRequest(Message):
     """``<T_I>_c`` -- a client-signed transaction submitted to a primary."""
@@ -87,6 +140,7 @@ class ClientRequest(Message):
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class ClientResponse(Message):
     """Response(T, k, r) returned to the client by f+1 replicas."""
@@ -112,6 +166,7 @@ class ClientResponse(Message):
 # ---------------------------------------------------------------------------
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class PrePrepare(Message):
     """Primary's proposal ordering a batch of requests at sequence ``sequence``."""
@@ -127,10 +182,11 @@ class PrePrepare(Message):
             "sender": str(self.sender),
             "view": self.view,
             "sequence": self.sequence,
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Prepare(Message):
     """Backup's agreement to support the primary's ``sequence``-th proposal."""
@@ -145,10 +201,32 @@ class Prepare(Message):
             "sender": str(self.sender),
             "view": self.view,
             "sequence": self.sequence,
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
         }
 
 
+def _commit_vote_fields(view: int, sequence: int, batch_digest: bytes) -> dict:
+    """The fields replicas sign in a Commit vote (sender excluded on purpose:
+    ``nf`` distinct signatures over the *same* bytes form a certificate)."""
+    return {
+        "type": "Commit",
+        "view": view,
+        "sequence": sequence,
+        "digest": batch_digest,
+    }
+
+
+def _memoized_signed_payload(obj, view: int, sequence: int, batch_digest: bytes) -> bytes:
+    if codec.LEGACY.enabled:
+        return codec.legacy_json_bytes(_commit_vote_fields(view, sequence, batch_digest))
+    cached = obj.__dict__.get("_signed_payload_memo")
+    if cached is None:
+        cached = codec.encode_canonical(_commit_vote_fields(view, sequence, batch_digest))
+        object.__setattr__(obj, "_signed_payload_memo", cached)
+    return cached
+
+
+@register_wire_type
 @dataclass(frozen=True)
 class Commit(Message):
     """Commit vote; for cross-shard batches it is digitally signed so the
@@ -165,22 +243,15 @@ class Commit(Message):
             "sender": str(self.sender),
             "view": self.view,
             "sequence": self.sequence,
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
         }
 
     def signed_payload(self) -> bytes:
         """The byte string replicas sign: excludes the signature itself."""
-        return json.dumps(
-            {
-                "type": self.type_name,
-                "view": self.view,
-                "sequence": self.sequence,
-                "digest": self.batch_digest.hex(),
-            },
-            sort_keys=True,
-        ).encode()
+        return _memoized_signed_payload(self, self.view, self.sequence, self.batch_digest)
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class CommitCertificate:
     """``nf`` distinct signed Commit messages proving a batch was replicated.
@@ -196,15 +267,7 @@ class CommitCertificate:
     signatures: tuple[Signature, ...]
 
     def signed_payload(self) -> bytes:
-        return json.dumps(
-            {
-                "type": "Commit",
-                "view": self.view,
-                "sequence": self.sequence,
-                "digest": self.batch_digest.hex(),
-            },
-            sort_keys=True,
-        ).encode()
+        return _memoized_signed_payload(self, self.view, self.sequence, self.batch_digest)
 
     @property
     def distinct_signers(self) -> int:
@@ -216,6 +279,7 @@ class CommitCertificate:
 # ---------------------------------------------------------------------------
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Forward(Message):
     """Forward(<T_I>_c, A, m, Delta) -- sent replica-to-replica to the next shard.
@@ -240,12 +304,13 @@ class Forward(Message):
             "type": self.type_name,
             "sender": str(self.sender),
             "txns": [req.transaction.txn_id for req in self.requests],
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "origin_shard": self.origin_shard,
-            "reads": {str(k): dict(v) for k, v in sorted(self.read_sets.items())},
+            "reads": self.read_sets,
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Execute(Message):
     """Execute(Delta, Sigma_I) -- second-rotation message carrying write sets.
@@ -266,12 +331,13 @@ class Execute(Message):
             "type": self.type_name,
             "sender": str(self.sender),
             "txn_ids": list(self.txn_ids),
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "origin_shard": self.origin_shard,
-            "writes": {str(k): dict(v) for k, v in sorted(self.write_sets.items())},
+            "writes": self.write_sets,
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class RemoteView(Message):
     """RemoteView(<T_I>_c, Delta) -- asks the previous shard to view-change (Figure 6)."""
@@ -284,7 +350,7 @@ class RemoteView(Message):
         return {
             "type": self.type_name,
             "sender": str(self.sender),
-            "digest": self.batch_digest.hex(),
+            "digest": self.batch_digest,
             "target_shard": self.target_shard,
         }
 
@@ -294,6 +360,7 @@ class RemoteView(Message):
 # ---------------------------------------------------------------------------
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Checkpoint(Message):
     """Periodic state digest allowing log truncation and dark-replica catch-up."""
@@ -306,10 +373,11 @@ class Checkpoint(Message):
             "type": self.type_name,
             "sender": str(self.sender),
             "sequence": self.sequence,
-            "digest": self.state_digest.hex(),
+            "digest": self.state_digest,
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class PreparedProof:
     """Evidence that a request was prepared: the PrePrepare plus nf Prepare votes.
@@ -325,6 +393,7 @@ class PreparedProof:
     requests: tuple[ClientRequest, ...] = ()
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class ViewChange(Message):
     """ViewChange vote asking to install ``new_view`` in the sender's shard."""
@@ -343,6 +412,7 @@ class ViewChange(Message):
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class NewView(Message):
     """New primary's announcement installing ``view`` with re-proposed requests.
@@ -373,6 +443,7 @@ class NewView(Message):
 # ---------------------------------------------------------------------------
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class StateTransferRequest(Message):
     """Request from a lagging replica asking peers for their current state.
@@ -396,6 +467,7 @@ class StateTransferRequest(Message):
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class StateTransferReply(Message):
     """A peer's state snapshot: store contents, ledger blocks, execution point.
@@ -419,7 +491,7 @@ class StateTransferReply(Message):
             "type": self.type_name,
             "sender": str(self.sender),
             "last_executed": self.last_executed,
-            "digest": self.state_digest.hex(),
+            "digest": self.state_digest,
         }
 
 
@@ -429,7 +501,12 @@ class StateTransferReply(Message):
 
 
 def batch_digest(requests: tuple[ClientRequest, ...] | list[ClientRequest]) -> bytes:
-    """Digest of a batch of client requests (the ``Delta`` of Figure 5)."""
+    """Digest of a batch of client requests (the ``Delta`` of Figure 5).
+
+    Reuses the memoised per-transaction digests, so re-deriving the batch
+    digest of a known batch (every PrePrepare reception does this) costs one
+    concatenation and one hash instead of a full re-serialisation.
+    """
     parts = b"".join(req.transaction.digest() for req in requests)
     return sha256(parts)
 
@@ -453,6 +530,20 @@ class MessageStats:
         name = message.type_name
         self.sent_count[name] = self.sent_count.get(name, 0) + 1
         self.sent_bytes[name] = self.sent_bytes.get(name, 0) + message.wire_size()
+
+    def record_fanout(self, message: Message, destinations: int) -> None:
+        """Tally a multicast of ``message`` to ``destinations`` peers.
+
+        Equivalent to ``destinations`` calls to :meth:`record` but resolves
+        the type name and wire size once per fan-out instead of once per copy.
+        """
+        if destinations <= 0:
+            return
+        name = message.type_name
+        self.sent_count[name] = self.sent_count.get(name, 0) + destinations
+        self.sent_bytes[name] = (
+            self.sent_bytes.get(name, 0) + destinations * message.wire_size()
+        )
 
     def record_dropped_request(self, reason: str) -> None:
         self.dropped_requests[reason] = self.dropped_requests.get(reason, 0) + 1

@@ -15,12 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import NewType
 
+from repro.common.codec import register_wire_type
+
 ShardId = NewType("ShardId", int)
 ClientId = NewType("ClientId", str)
 SeqNum = NewType("SeqNum", int)
 ViewNum = NewType("ViewNum", int)
 
 
+@register_wire_type
 @dataclass(frozen=True, order=True)
 class ReplicaId:
     """Globally unique replica identity.

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common import codec
 from repro.common.crypto import KeyStore, SignatureScheme
 from repro.common.messages import ClientRequest, ClientResponse
 from repro.config import TimerConfig
@@ -77,8 +78,12 @@ class Client(Node):
     def submit(self, txn: Transaction) -> ClientRequest:
         """Sign and send ``txn`` to the primary of its initiator shard."""
         request = ClientRequest(sender=self.client_id, transaction=txn)
-        signature = self.signer.sign(self.client_id, request.payload_bytes(), self._signing_key)
+        payload = request.payload_bytes()
+        signature = self.signer.sign(self.client_id, payload, self._signing_key)
         request = ClientRequest(sender=self.client_id, transaction=txn, signature=signature)
+        # The signature is excluded from the request's own payload fields, so
+        # the signed bytes are also the rebuilt request's canonical payload.
+        codec.prime_payload(request, payload)
         target_shard = self.target_shard_for(txn)
         self._in_flight[txn.txn_id] = _InFlight(
             request=request, target_shard=target_shard, submitted_at=self.now

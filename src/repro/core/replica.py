@@ -24,6 +24,7 @@ of the intra-shard PBFT engine:
 
 from __future__ import annotations
 
+from repro.common import codec
 from repro.common.crypto import verify_certificate
 from repro.common.messages import (
     ClientRequest,
@@ -260,7 +261,14 @@ class RingBftReplica(PbftReplica):
         if key in seen:
             return
         seen.add(key)
-        self.broadcast([r for r in self.shard_peers if r != self.replica_id], message)
+        peers = [r for r in self.shard_peers if r != self.replica_id]
+        # Group-tag the relay for the local audience (one HMAC over the
+        # memoised payload).  The per-peer legacy path would not apply here:
+        # the relayed message keeps its *original* cross-shard sender, so
+        # pairwise tags minted by the relayer could never verify against it.
+        if not codec.LEGACY.enabled:
+            self._authenticate_for_audience(message, self.auth_label, peers)
+        self.broadcast(peers, message)
 
     def _verify_forward(self, message: Forward) -> bool:
         """Well-formedness of a Forward: digest matches and the certificate verifies."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass, field
 
+from repro.common import codec
 from repro.common.crypto import KeyStore
 from repro.common.types import ReplicaId
 from repro.config import SystemConfig
@@ -54,6 +55,10 @@ class RunResult:
     message_counts: dict[str, int] = field(default_factory=dict)
     total_messages: int = 0
     ledgers_consistent: bool | None = None
+    #: Hit/miss counters of the hot-path caches for this run window:
+    #: ``verify``/``certificate`` (the keystore's signature memo LRUs) and
+    #: ``payload``/``digest`` (the codec's per-object memoisation).
+    cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def all_completed(self) -> bool:
@@ -277,6 +282,7 @@ class Deployment:
         wall_started = _time.perf_counter()
         completed_before = self.completed_transactions()
         message_counts_before = self.message_counts()
+        cache_stats_before = self.cache_stats_snapshot()
         client_ids = list(self.clients)
         for i, txn in enumerate(transactions):
             self.submit(txn, client_ids[i % len(client_ids)])
@@ -287,8 +293,37 @@ class Deployment:
             wall_started=wall_started,
             completed_before=completed_before,
             message_counts_before=message_counts_before,
+            cache_stats_before=cache_stats_before,
             check_consistency=check_consistency,
         )
+
+    def cache_stats_snapshot(self) -> dict:
+        """Snapshot of every hot-path cache counter, taken at a window start.
+
+        Pass the result to :meth:`collect_result` as ``cache_stats_before`` so
+        the reported ``RunResult.cache_stats`` covers only that run window --
+        both the process-wide codec memo counters and the deployment's
+        verification LRUs are windowed the same way.
+        """
+        return {
+            "codec": codec.STATS.snapshot(),
+            "keystore": self.keystore.cache_stats(),
+        }
+
+    def _windowed_cache_stats(self, before: dict | None) -> dict[str, dict[str, int]]:
+        keystore_before = (before or {}).get("keystore", {})
+        cache_stats: dict[str, dict[str, int]] = {}
+        for name, stats in self.keystore.cache_stats().items():
+            if not stats:
+                cache_stats[name] = {}
+                continue
+            base = keystore_before.get(name, {})
+            windowed = dict(stats)
+            windowed["hits"] = stats.get("hits", 0) - base.get("hits", 0)
+            windowed["misses"] = stats.get("misses", 0) - base.get("misses", 0)
+            cache_stats[name] = windowed
+        cache_stats.update(codec.STATS.delta_since((before or {}).get("codec")))
+        return cache_stats
 
     def collect_result(
         self,
@@ -298,6 +333,7 @@ class Deployment:
         wall_started: float,
         completed_before: int = 0,
         message_counts_before: dict[str, int] | None = None,
+        cache_stats_before: dict | None = None,
         check_consistency: bool = True,
     ) -> RunResult:
         """Snapshot the deployment into a :class:`RunResult` for one run window.
@@ -322,6 +358,7 @@ class Deployment:
         consistent: bool | None = None
         if check_consistency:
             consistent = all(self.ledgers_consistent(s) for s in self.config.shard_ids)
+        cache_stats = self._windowed_cache_stats(cache_stats_before)
         return RunResult(
             backend=self.backend.name,
             submitted=submitted,
@@ -332,6 +369,7 @@ class Deployment:
             message_counts=counts,
             total_messages=sum(counts.values()),
             ledgers_consistent=consistent,
+            cache_stats=cache_stats,
         )
 
     # ------------------------------------------------------------------

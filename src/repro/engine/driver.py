@@ -76,6 +76,7 @@ class WorkloadDriver:
         wall_started = _time.perf_counter()
         completed_before = self.completed
         message_counts_before = self.deployment.message_counts()
+        cache_stats_before = self.deployment.cache_stats_snapshot()
         target = completed_before + self.total
         self.start()
         self.deployment.backend.run_until(lambda: self.completed >= target, timeout)
@@ -85,6 +86,7 @@ class WorkloadDriver:
             wall_started=wall_started,
             completed_before=completed_before,
             message_counts_before=message_counts_before,
+            cache_stats_before=cache_stats_before,
             check_consistency=check_consistency,
         )
 
@@ -122,6 +124,7 @@ class OpenLoopWorkloadDriver:
         wall_started = _time.perf_counter()
         completed_before = self.deployment.completed_transactions()
         message_counts_before = self.deployment.message_counts()
+        cache_stats_before = self.deployment.cache_stats_snapshot()
         self.start()
         self.deployment.backend.run_until_time(started_at + self.duration + extra_drain)
         return self.deployment.collect_result(
@@ -130,6 +133,7 @@ class OpenLoopWorkloadDriver:
             wall_started=wall_started,
             completed_before=completed_before,
             message_counts_before=message_counts_before,
+            cache_stats_before=cache_stats_before,
             check_consistency=check_consistency,
         )
 
@@ -236,6 +240,7 @@ class SustainedLoadDriver:
         wall_started = _time.perf_counter()
         completed_before = self.deployment.completed_transactions()
         message_counts_before = self.deployment.message_counts()
+        cache_stats_before = self.deployment.cache_stats_snapshot()
         self.start()
         self.deployment.backend.run_until(self._target_reached, self.max_duration)
         self.deployment.backend.run_until_time(self.deployment.now + self.drain)
@@ -248,6 +253,7 @@ class SustainedLoadDriver:
             wall_started=wall_started,
             completed_before=completed_before,
             message_counts_before=message_counts_before,
+            cache_stats_before=cache_stats_before,
             check_consistency=check_consistency,
         )
 

@@ -47,6 +47,48 @@ def percentile(sorted_values: list[float], fraction: float) -> float:
 _percentile = percentile
 
 
+# ---------------------------------------------------------------------------
+# cache efficacy (verification LRUs + codec memoisation)
+# ---------------------------------------------------------------------------
+
+
+def cache_hit_rate(stats: dict[str, int]) -> float:
+    """Hit fraction of one hit/miss counter pair (0.0 when the cache is cold)."""
+    hits = stats.get("hits", 0)
+    misses = stats.get("misses", 0)
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def cache_efficiency(cache_stats: dict[str, dict[str, int]]) -> dict[str, dict]:
+    """Annotate each cache's counters with its hit rate.
+
+    ``cache_stats`` is the :class:`~repro.engine.deployment.RunResult`
+    ``cache_stats`` mapping (``verify``/``certificate`` LRUs plus the codec's
+    ``payload``/``digest`` memo counters).  Empty entries (disabled caches)
+    are dropped.
+    """
+    report: dict[str, dict] = {}
+    for name, stats in cache_stats.items():
+        if not stats:
+            continue
+        annotated = dict(stats)
+        annotated["hit_rate"] = round(cache_hit_rate(stats), 4)
+        report[name] = annotated
+    return report
+
+
+def format_cache_stats(cache_stats: dict[str, dict[str, int]]) -> list[str]:
+    """Human-readable one-line-per-cache summary used by the CLI."""
+    lines = []
+    for name, stats in sorted(cache_efficiency(cache_stats).items()):
+        lines.append(
+            f"{name:12s} {stats['hit_rate'] * 100:6.1f}% hit"
+            f"  ({stats.get('hits', 0)} hits / {stats.get('misses', 0)} misses)"
+        )
+    return lines
+
+
 def summarize(records: list[CompletedTransaction], duration: float | None = None) -> MetricsSummary:
     """Summarise completion records into throughput and latency statistics.
 

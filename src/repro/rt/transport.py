@@ -101,6 +101,9 @@ class _AsyncDeliveryStats:
     delivered: int = 0
     dropped: int = 0
     bytes_delivered: int = 0
+    #: Fan-out operations served by the multicast fast path (counted once
+    #: per multicast, independent of audience size).
+    multicasts: int = 0
 
 
 class AsyncNetwork:
@@ -146,19 +149,21 @@ class AsyncNetwork:
         return tuple(self._nodes)
 
     def send(self, src: Hashable, dst: Hashable, message: "Message") -> None:
+        self._send_one(src, dst, message, message.wire_size(), self._regions.get(src, "local"))
+
+    def _send_one(
+        self, src: Hashable, dst: Hashable, message: "Message", size: int, src_region: str
+    ) -> None:
         if dst not in self._nodes:
             raise NetworkError(f"cannot deliver to unknown address {dst!r}")
         coin = self._scheduler.rng.random()
         if not self.conditions.allows(src, dst, coin):
             self.stats.dropped += 1
             return
-        src_region = self._regions.get(src, "local")
-        dst_region = self._regions[dst]
-        delay = self._latency.message_delay(src_region, dst_region, message.wire_size())
+        delay = self._latency.message_delay(src_region, self._regions[dst], size)
         delay *= self._latency_scale
         jitter = delay * self._latency.jitter_fraction * self._scheduler.rng.random()
         receiver = self._nodes[dst]
-        size = message.wire_size()
 
         def _deliver() -> None:
             self.stats.delivered += 1
@@ -168,5 +173,12 @@ class AsyncNetwork:
         self._scheduler.schedule(delay + jitter, _deliver)
 
     def multicast(self, src: Hashable, dsts, message: "Message") -> None:
+        """Fan-out fast path mirroring ``sim.network.Network.multicast``:
+        wire size and source region resolved once, one shared payload."""
+        if not dsts:
+            return
+        size = message.wire_size()
+        src_region = self._regions.get(src, "local")
+        self.stats.multicasts += 1
         for dst in dsts:
-            self.send(src, dst, message)
+            self._send_one(src, dst, message, size, src_region)

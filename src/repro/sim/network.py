@@ -57,6 +57,10 @@ class _DeliveryStats:
     delivered: int = 0
     dropped: int = 0
     bytes_delivered: int = 0
+    #: Fan-out operations served by the multicast fast path.  Each multicast
+    #: is counted once here regardless of audience size; the per-copy
+    #: outcomes still land in ``delivered``/``dropped``.
+    multicasts: int = 0
 
 
 class Network:
@@ -104,18 +108,25 @@ class Network:
         Delivery is skipped (silently, as in a real lossy network) when fault
         conditions block the link or the loss coin comes up.
         """
+        self._send_one(src, dst, message, message.wire_size(), self._regions.get(src, "local"))
+
+    def _send_one(
+        self,
+        src: NodeAddress,
+        dst: NodeAddress,
+        message: "Message",
+        size: int,
+        src_region: str,
+    ) -> None:
         if dst not in self._nodes:
             raise NetworkError(f"cannot deliver to unknown address {dst!r}")
         coin = self._sim.rng.random()
         if not self.conditions.allows(src, dst, coin):
             self.stats.dropped += 1
             return
-        src_region = self._regions.get(src, "local")
-        dst_region = self._regions[dst]
-        delay = self._latency.message_delay(src_region, dst_region, message.wire_size())
+        delay = self._latency.message_delay(src_region, self._regions[dst], size)
         jitter = delay * self._latency.jitter_fraction * self._sim.rng.random()
         receiver = self._nodes[dst]
-        size = message.wire_size()
 
         def _deliver() -> None:
             self.stats.delivered += 1
@@ -124,7 +135,24 @@ class Network:
 
         self._sim.schedule(delay + jitter, _deliver)
 
-    def multicast(self, src: NodeAddress, dsts: list[NodeAddress] | tuple[NodeAddress, ...], message: "Message") -> None:
-        """Send one copy of ``message`` to every destination (self excluded upstream)."""
+    def multicast(
+        self,
+        src: NodeAddress,
+        dsts: list[NodeAddress] | tuple[NodeAddress, ...],
+        message: "Message",
+    ) -> None:
+        """Fan one copy of ``message`` out to every destination (self excluded upstream).
+
+        Fast path: the wire size and source region are resolved once per
+        message, every destination shares the same payload object, and the
+        fan-out is counted once in the delivery stats.  Per-destination drop
+        coins, latency draws, and delivery events are identical to ``n``
+        individual sends, so fault injection and determinism are unaffected.
+        """
+        if not dsts:
+            return
+        size = message.wire_size()
+        src_region = self._regions.get(src, "local")
+        self.stats.multicasts += 1
         for dst in dsts:
-            self.send(src, dst, message)
+            self._send_one(src, dst, message, size, src_region)

@@ -51,14 +51,16 @@ class Node:
         """Send ``message`` to every destination; optionally loop it back to self.
 
         PBFT replicas count their own vote, so ``include_self=True`` delivers
-        the message locally without a network hop.
+        the message locally without a network hop.  The fan-out rides the
+        network's multicast fast path: one stats entry per audience (wire
+        size resolved once) and one shared payload across the deliveries.
         """
         if self.crashed:
             return
-        for dst in dsts:
-            if dst == self.address:
-                continue
-            self.send(dst, message)
+        targets = [dst for dst in dsts if dst != self.address]
+        if targets:
+            self.stats.record_fanout(message, len(targets))
+            self.network.multicast(self.address, targets, message)
         if include_self:
             self.deliver(message)
 

@@ -9,9 +9,10 @@ ledgers is the complete system state (equation 1 of the paper).
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 
+from repro.common import codec
+from repro.common.codec import register_wire_type
 from repro.common.crypto import sha256
 from repro.common.merkle import MerkleTree
 from repro.errors import LedgerError
@@ -20,6 +21,7 @@ from repro.txn.transaction import Transaction
 GENESIS_DIGEST = sha256(b"ringbft-genesis")
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Block:
     """One block of a shard's partial blockchain."""
@@ -33,22 +35,28 @@ class Block:
     txn_ids: tuple[str, ...]
     involved_shards: frozenset[int]
 
+    def _header_fields(self) -> dict:
+        return {
+            "height": self.height,
+            "sequence": self.sequence,
+            "shard": self.shard_id,
+            "primary": self.primary,
+            "root": self.merkle_root,
+            "prev": self.previous_hash,
+            "txns": list(self.txn_ids),
+        }
+
     def header_bytes(self) -> bytes:
-        return json.dumps(
-            {
-                "height": self.height,
-                "sequence": self.sequence,
-                "shard": self.shard_id,
-                "primary": self.primary,
-                "root": self.merkle_root.hex(),
-                "prev": self.previous_hash.hex(),
-                "txns": list(self.txn_ids),
-            },
-            sort_keys=True,
-        ).encode()
+        return codec.memoized_payload(self, self._header_fields)
 
     def block_hash(self) -> bytes:
-        return sha256(self.header_bytes())
+        """Hash of the immutable header, computed at most once per object.
+
+        Chain validation, ledger appends (parent hash), and the deployment's
+        consistency sweeps all re-ask for block hashes; memoisation turns the
+        repeated header re-serialisations into dictionary lookups.
+        """
+        return codec.memoized_digest(self, self._header_fields)
 
     @property
     def is_cross_shard(self) -> bool:
@@ -108,7 +116,15 @@ class Ledger:
         involved: set[int] = set()
         for txn in transactions:
             involved.update(txn.involved_shards)
-        tree = MerkleTree([txn.payload_bytes() for txn in transactions])
+        if codec.LEGACY.enabled:
+            # Benchmark-only: the pre-codec ledger hashed full envelopes.
+            leaves = [txn.payload_bytes() for txn in transactions]
+        else:
+            # Merkle leaves are the memoised transaction digests, so a block
+            # append never re-serialises an envelope some replica already
+            # hashed; proofs verify against ``txn.digest()`` as the leaf.
+            leaves = [txn.digest() for txn in transactions]
+        tree = MerkleTree(leaves)
         block = Block(
             height=self.height + 1,
             sequence=sequence,

@@ -11,13 +11,14 @@ data exist (making the transaction a *complex* cross-shard transaction).
 from __future__ import annotations
 
 import enum
-import json
 from dataclasses import dataclass, field
 
-from repro.common.crypto import sha256
+from repro.common import codec
+from repro.common.codec import register_wire_type
 from repro.errors import MalformedMessageError
 
 
+@register_wire_type
 class OpType(enum.Enum):
     """The two YCSB operation kinds used in the evaluation (read-modify-write)."""
 
@@ -25,6 +26,7 @@ class OpType(enum.Enum):
     WRITE = "write"
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Operation:
     """A single read or write of one data item.
@@ -52,13 +54,15 @@ class Operation:
         }
 
 
+@register_wire_type
 @dataclass(frozen=True)
 class Transaction:
     """A client transaction ``T_I`` over one or more shards.
 
     The envelope is immutable; every field needed by the protocol is derived
-    once at construction time and cached (involved shards, per-shard
-    fragments, digest).
+    at most once per object and memoised (involved shards, canonical payload,
+    digest) -- the routing layer, the batcher, and every ``batch_digest``
+    recomputation hit the caches instead of re-deriving.
     """
 
     txn_id: str
@@ -72,10 +76,14 @@ class Transaction:
     @property
     def involved_shards(self) -> frozenset[int]:
         """Set of shard identifiers the transaction touches (``I`` in the paper)."""
-        shards = {op.shard for op in self.operations}
-        for op in self.operations:
-            shards.update(shard for shard, _ in op.depends_on)
-        return frozenset(shards)
+        cached = self.__dict__.get("_involved_memo")
+        if cached is None:
+            shards = {op.shard for op in self.operations}
+            for op in self.operations:
+                shards.update(shard for shard, _ in op.depends_on)
+            cached = frozenset(shards)
+            object.__setattr__(self, "_involved_memo", cached)
+        return cached
 
     @property
     def is_cross_shard(self) -> bool:
@@ -116,7 +124,7 @@ class Transaction:
         return sum(len(op.depends_on) for op in self.operations)
 
     def to_wire(self) -> dict:
-        """JSON-serialisable representation used for digests and signing."""
+        """Canonical field representation used for digests and signing."""
         return {
             "txn_id": self.txn_id,
             "client_id": self.client_id,
@@ -124,11 +132,12 @@ class Transaction:
         }
 
     def payload_bytes(self) -> bytes:
-        return json.dumps(self.to_wire(), sort_keys=True).encode()
+        """Canonical bytes of the envelope, encoded at most once per object."""
+        return codec.memoized_payload(self, self.to_wire)
 
     def digest(self) -> bytes:
-        """Collision-resistant digest of the transaction envelope."""
-        return sha256(self.payload_bytes())
+        """Collision-resistant digest of the envelope, hashed at most once."""
+        return codec.memoized_digest(self, self.to_wire)
 
     def conflicts_with(self, other: "Transaction") -> bool:
         """True when the two transactions access a common data item with at least one write."""

@@ -196,6 +196,16 @@ class TestDeploymentParity:
         assert 0 < second.total_messages < first.total_messages
         assert second.total_messages == sum(second.message_counts.values())
         assert len(second.latencies) == 1
+        # Cache counters are windowed the same way: the single-transaction
+        # second run reports its own (smaller) encode counts, not the
+        # cumulative deployment totals.
+        assert 0 < second.cache_stats["payload"]["misses"] < first.cache_stats["payload"]["misses"]
+        for cache in ("verify", "certificate"):
+            window = second.cache_stats[cache]
+            assert window.get("hits", 0) + window.get("misses", 0) <= (
+                first.cache_stats[cache].get("hits", 0)
+                + first.cache_stats[cache].get("misses", 0)
+            )
 
     def test_run_result_row_shape_is_identical(self):
         rows = {}
@@ -211,6 +221,61 @@ class TestDeploymentParity:
                 deployment.close()
         assert set(rows["sim"]) == set(rows["realtime"])
         assert rows["sim"]["completed"] == rows["realtime"]["completed"] == 5
+
+
+class TestCrossBackendDeterminism:
+    """Same seed => identical commit order and digests on both backends.
+
+    Submission is sequential (one client, window 1) so the commit order is
+    pinned by the workload rather than by scheduling jitter; the assertion
+    then checks that the *byte-level* protocol outcome -- block sequences,
+    transaction order, Merkle roots, and chained block hashes -- is identical
+    under the simulator clock and the asyncio clock after the codec swap.
+    """
+
+    @staticmethod
+    def _chains(total=8, cross=0.4):
+        chains = {}
+        for backend in BACKEND_NAMES:
+            config = SystemConfig.uniform(
+                2,
+                4,
+                workload=WorkloadConfig(
+                    num_records=200,
+                    cross_shard_fraction=cross,
+                    batch_size=1,
+                    num_clients=1,
+                    seed=11,
+                ),
+            )
+            deployment = Deployment.build(
+                config, backend=backend, num_clients=1, batch_size=1, time_scale=0.02, seed=11
+            )
+            try:
+                generator = YcsbWorkloadGenerator(
+                    deployment.table, deployment.directory.ring, config.workload, seed=11
+                )
+                driver = WorkloadDriver(deployment, generator, total=total, window=1)
+                result = driver.run(timeout=300.0)
+                assert result.completed == total
+                assert result.ledgers_consistent
+                chains[backend] = {
+                    shard: [
+                        (block.sequence, block.txn_ids, block.merkle_root, block.block_hash())
+                        for block in deployment.primary_of(shard).ledger.blocks()
+                    ]
+                    for shard in config.shard_ids
+                }
+            finally:
+                deployment.close()
+        return chains
+
+    def test_commit_order_and_digests_match_across_backends(self):
+        chains = self._chains()
+        assert chains["sim"] == chains["realtime"]
+        # The workload must actually have committed work on every shard.
+        for shard_chain in chains["sim"].values():
+            assert len(shard_chain) > 1
 
 
 class TestDeploymentHarness:

@@ -1,0 +1,211 @@
+"""Unit tests for the canonical binary codec and the payload/digest memos."""
+
+import pytest
+
+from repro.common import codec
+from repro.common.codec import (
+    decode_canonical,
+    encode_canonical,
+    legacy_json_encoding,
+    registered_wire_types,
+)
+from repro.common.messages import Checkpoint, Execute, batch_digest
+from repro.common.types import ReplicaId
+from repro.errors import MalformedMessageError
+from repro.txn.transaction import OpType, Operation, Transaction, TransactionBuilder
+
+
+def _txn(txn_id="t1", shard=0):
+    return TransactionBuilder(txn_id, "client-0").read_modify_write(shard, "user1", "v").build()
+
+
+class TestInjectivity:
+    """Distinct values must never share an encoding (the ``default=str`` bug)."""
+
+    def test_bytes_never_collide_with_their_string_forms(self):
+        raw = b"\x01\x02"
+        for impostor in (raw.hex(), str(raw), raw.decode("latin-1")):
+            assert encode_canonical(raw) != encode_canonical(impostor)
+
+    def test_int_keys_never_collide_with_str_keys(self):
+        assert encode_canonical({1: "x"}) != encode_canonical({"1": "x"})
+
+    def test_int_values_never_collide_with_str_values(self):
+        assert encode_canonical(7) != encode_canonical("7")
+        assert encode_canonical({"k": 7}) != encode_canonical({"k": "7"})
+
+    def test_bool_never_collides_with_int(self):
+        assert encode_canonical(True) != encode_canonical(1)
+        assert encode_canonical(False) != encode_canonical(0)
+
+    def test_list_tuple_and_set_are_distinct(self):
+        assert encode_canonical([1, 2]) != encode_canonical((1, 2))
+        assert encode_canonical([1, 2]) != encode_canonical(frozenset({1, 2}))
+
+    def test_nesting_boundaries_are_unambiguous(self):
+        assert encode_canonical([["a"], "b"]) != encode_canonical([["a", "b"]])
+        assert encode_canonical({"a": {"b": "c"}}) != encode_canonical({"a": {"b": "c"}, "d": {}})
+
+
+class TestDeterminism:
+    def test_dict_ordering_is_insertion_independent(self):
+        assert encode_canonical({"a": 1, "b": 2}) == encode_canonical({"b": 2, "a": 1})
+        assert encode_canonical({2: "x", 10: "y"}) == encode_canonical({10: "y", 2: "x"})
+
+    def test_mixed_key_dicts_encode_deterministically(self):
+        one = encode_canonical({1: "x", "1": "y"})
+        two = encode_canonical({"1": "y", 1: "x"})
+        assert one == two
+
+    def test_frozenset_ordering_is_canonical(self):
+        assert encode_canonical(frozenset({3, 1, 2})) == encode_canonical(frozenset({2, 3, 1}))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -17,
+            2**80,
+            1.5,
+            "",
+            "héllo",
+            b"",
+            b"\x00\xff",
+            [1, "two", b"three"],
+            (1, (2, 3)),
+            {"a": [1], "b": {"c": None}},
+            {1: "x", "1": "y"},
+            frozenset({1, 2, 3}),
+        ],
+    )
+    def test_primitives_round_trip(self, value):
+        decoded = decode_canonical(encode_canonical(value))
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_registered_dataclasses_round_trip(self):
+        txn = _txn()
+        assert decode_canonical(encode_canonical(txn)) == txn
+        rid = ReplicaId(shard=2, index=3)
+        assert decode_canonical(encode_canonical(rid)) == rid
+        op = Operation(shard=0, key="k", op_type=OpType.WRITE, value="v", depends_on=((1, "x"),))
+        assert decode_canonical(encode_canonical(op)) == op
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(encode_canonical(1) + b"!")
+
+    @pytest.mark.parametrize(
+        "junk",
+        [
+            b"",  # empty frame
+            b"\x99",  # unknown tag
+            b"D\x00",  # truncated float body
+            b"I\x00\x00\x00\x02ab",  # non-numeric int body
+            b"S\x00\x00\x00\x01\xff",  # invalid utf-8 str body
+            b"B\x00\x00\x00\x05ab",  # truncated bytes body
+            b"I\x00\x00",  # truncated length prefix
+            b"I\x00\x00\x00\x02+5",  # non-canonical int spelling
+            b"I\x00\x00\x00\x03" + b"5_0",  # underscore int spelling
+            b"I\x00\x00\x00\x64" + b"5",  # int body longer than the frame
+            b"S\x00\x00\x00\x64" + b"ab",  # str body longer than the frame
+        ],
+    )
+    def test_malformed_inputs_raise_the_module_error(self, junk):
+        """Low-level struct/unicode errors are translated, never leaked."""
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(junk)
+
+    def test_legacy_context_is_reentrant(self):
+        with legacy_json_encoding():
+            with legacy_json_encoding():
+                assert codec.LEGACY.enabled
+            assert codec.LEGACY.enabled  # inner exit must not clear the outer scope
+        assert not codec.LEGACY.enabled
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(MalformedMessageError):
+            encode_canonical(object())
+
+    def test_registry_contains_the_protocol_message_set(self):
+        names = set(registered_wire_types())
+        assert {"Transaction", "ClientRequest", "Forward", "Commit", "Block", "Signature"} <= names
+
+
+class TestDigestInjectivityRegression:
+    """Adversarial field values that collided under JSON canonicalization."""
+
+    def test_int_vs_str_write_set_keys_digest_differently(self):
+        base = dict(sender=ReplicaId(1, 0), batch_digest=b"\x03" * 32, txn_ids=("t1",), origin_shard=1)
+        int_keys = Execute(write_sets={0: {"k": "v"}}, **base)
+        str_keys = Execute(write_sets={"0": {"k": "v"}}, **base)
+        assert int_keys.digest() != str_keys.digest()
+        # The legacy JSON path collides -- which is exactly why it is
+        # quarantined to benchmarks.
+        with legacy_json_encoding():
+            assert int_keys.digest() == str_keys.digest()
+
+    def test_bytes_vs_stringified_bytes_digest_differently(self):
+        raw = Checkpoint(sender=ReplicaId(0, 0), sequence=4, state_digest=b"\xab" * 32)
+        impostor = Checkpoint(sender=ReplicaId(0, 0), sequence=4, state_digest=(b"\xab" * 32).hex())
+        assert raw.digest() != impostor.digest()
+        with legacy_json_encoding():
+            assert raw.digest() == impostor.digest()
+
+    def test_transaction_digest_distinguishes_value_types(self):
+        a = Transaction("t", "c", (Operation(shard=0, key="k", op_type=OpType.WRITE, value="7"),))
+        b = Transaction("t", "c", (Operation(shard=0, key="k", op_type=OpType.WRITE, value=7),))
+        assert a.digest() != b.digest()
+
+
+class TestMemoisation:
+    def test_payload_bytes_encoded_once_per_object(self):
+        txn = _txn()
+        first = txn.payload_bytes()
+        assert txn.payload_bytes() is first  # same object, not merely equal
+
+    def test_digest_hashed_once_per_object(self):
+        message = Checkpoint(sender=ReplicaId(0, 0), sequence=4, state_digest=b"\x01" * 32)
+        assert message.digest() is message.digest()
+
+    def test_stats_count_hits_and_misses(self):
+        before = codec.STATS.snapshot()
+        txn = _txn("memo-stats")
+        txn.digest()
+        txn.digest()
+        delta = codec.STATS.delta_since(before)
+        assert delta["digest"]["misses"] == 1
+        assert delta["digest"]["hits"] == 1
+
+    def test_batch_digest_reuses_transaction_digests(self):
+        from repro.common.messages import ClientRequest
+
+        requests = tuple(
+            ClientRequest(sender="client-0", transaction=_txn(f"b-{i}")) for i in range(3)
+        )
+        first = batch_digest(requests)
+        before = codec.STATS.snapshot()
+        assert batch_digest(requests) == first
+        delta = codec.STATS.delta_since(before)
+        assert delta["digest"]["misses"] == 0  # every leaf came from the memo
+
+    def test_prime_payload_seeds_the_memo(self):
+        source = _txn("prime-src")
+        payload = source.payload_bytes()
+        clone = Transaction(source.txn_id, source.client_id, source.operations)
+        codec.prime_payload(clone, payload)
+        assert clone.payload_bytes() is payload
+
+    def test_legacy_mode_bypasses_memos_but_is_self_consistent(self):
+        txn = _txn("legacy")
+        with legacy_json_encoding():
+            one = txn.payload_bytes()
+            two = txn.payload_bytes()
+            assert one == two
+            assert one is not two  # recomputed per call, like the pre-codec path
+        assert txn.payload_bytes() != one  # binary codec differs from JSON

@@ -95,8 +95,8 @@ class TestCrossShardMessages:
             batch_digest=batch_digest(requests),
             origin_shard=0,
         )
-        payload = forward.payload_bytes().decode()
-        assert "t1" in payload and "t2" in payload
+        payload = forward.payload_bytes()
+        assert b"t1" in payload and b"t2" in payload
 
     def test_execute_payload_contains_write_sets(self):
         execute = Execute(
@@ -106,7 +106,7 @@ class TestCrossShardMessages:
             write_sets={0: {"user1": "value-xyz"}},
             origin_shard=1,
         )
-        assert "value-xyz" in execute.payload_bytes().decode()
+        assert b"value-xyz" in execute.payload_bytes()
 
     def test_remote_view_identifies_target_shard(self):
         message = RemoteView(sender=ReplicaId(1, 0), batch_digest=b"\x04" * 32, target_shard=0)

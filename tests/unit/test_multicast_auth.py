@@ -1,0 +1,148 @@
+"""Unit tests for the multicast fan-out fast path and broadcast authentication."""
+
+from repro.common.crypto import KeyStore, MacAuthenticator
+from repro.common.messages import Checkpoint, MessageStats, Prepare
+from repro.common.types import ReplicaId
+from repro.config import SystemConfig, WorkloadConfig
+from repro.engine import Deployment
+from repro.sim.kernel import Simulator
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.txn.transaction import TransactionBuilder
+
+
+class _Recorder(Node):
+    def __init__(self, address, network):
+        super().__init__(address, "local", network)
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(message)
+
+
+def _fabric(n=4):
+    sim = Simulator(seed=5)
+    network = Network(sim)
+    nodes = [_Recorder(f"n{i}", network) for i in range(n)]
+    return sim, network, nodes
+
+
+class TestMulticastFastPath:
+    def test_multicast_delivers_one_shared_payload_to_every_destination(self):
+        sim, network, nodes = _fabric()
+        message = Checkpoint(sender=ReplicaId(0, 0), sequence=1, state_digest=b"\x00" * 32)
+        network.multicast("n0", ["n1", "n2", "n3"], message)
+        sim.run()
+        for node in nodes[1:]:
+            assert node.received == [message]
+            assert node.received[0] is message  # shared object, not a copy
+        assert network.stats.multicasts == 1
+        assert network.stats.delivered == 3
+        assert network.stats.bytes_delivered == 3 * message.wire_size()
+
+    def test_multicast_draws_rng_identically_to_a_send_loop(self):
+        """The fast path must not perturb the deterministic event stream."""
+        message = Checkpoint(sender=ReplicaId(0, 0), sequence=1, state_digest=b"\x00" * 32)
+
+        sim_a, network_a, _ = _fabric()
+        network_a.multicast("n0", ["n1", "n2", "n3"], message)
+        sim_b, network_b, _ = _fabric()
+        for dst in ("n1", "n2", "n3"):
+            network_b.send("n0", dst, message)
+        assert sim_a.rng.random() == sim_b.rng.random()
+
+    def test_multicast_respects_fault_conditions_per_destination(self):
+        sim, network, nodes = _fabric()
+        network.conditions.block_link("n0", "n2")
+        message = Checkpoint(sender=ReplicaId(0, 0), sequence=1, state_digest=b"\x00" * 32)
+        network.multicast("n0", ["n1", "n2", "n3"], message)
+        sim.run()
+        assert nodes[2].received == []
+        assert nodes[1].received == [message] and nodes[3].received == [message]
+        assert network.stats.dropped == 1
+
+    def test_empty_multicast_is_a_no_op(self):
+        _, network, _ = _fabric()
+        message = Checkpoint(sender=ReplicaId(0, 0), sequence=1, state_digest=b"\x00" * 32)
+        network.multicast("n0", [], message)
+        assert network.stats.multicasts == 0
+
+    def test_record_fanout_matches_repeated_record(self):
+        message = Prepare(sender=ReplicaId(0, 0), view=0, sequence=1, batch_digest=b"\x00" * 32)
+        fanout, repeated = MessageStats(), MessageStats()
+        fanout.record_fanout(message, 3)
+        for _ in range(3):
+            repeated.record(message)
+        assert fanout.sent_count == repeated.sent_count
+        assert fanout.sent_bytes == repeated.sent_bytes
+        fanout.record_fanout(message, 0)
+        assert fanout.total_messages == 3
+
+    def test_broadcast_excludes_self_and_records_fanout_once(self):
+        sim, network, nodes = _fabric()
+        message = Checkpoint(sender=ReplicaId(0, 0), sequence=1, state_digest=b"\x00" * 32)
+        nodes[0].broadcast(["n0", "n1", "n2", "n3"], message)
+        sim.run()
+        assert nodes[0].received == []
+        assert nodes[0].stats.sent_count["Checkpoint"] == 3
+        assert network.stats.multicasts == 1
+
+
+class TestGroupMac:
+    def test_group_tag_verifies_for_any_member(self):
+        keystore = KeyStore()
+        alice = MacAuthenticator(owner="r0@S0", keystore=keystore)
+        bob = MacAuthenticator(owner="r1@S0", keystore=keystore)
+        tag = alice.group_tag("shard:0", b"payload")
+        assert bob.verify_group("shard:0", b"payload", tag)
+
+    def test_group_tag_rejects_tampering_and_wrong_audience(self):
+        keystore = KeyStore()
+        mac = MacAuthenticator(owner="r0@S0", keystore=keystore)
+        tag = mac.group_tag("shard:0", b"payload")
+        assert not mac.verify_group("shard:0", b"payload!", tag)
+        assert not mac.verify_group("shard:1", b"payload", tag)
+
+
+def _deployment():
+    config = SystemConfig.uniform(
+        2,
+        4,
+        workload=WorkloadConfig(
+            num_records=100, cross_shard_fraction=0.5, batch_size=1, num_clients=1, seed=3
+        ),
+    )
+    return Deployment.build(config, backend="sim", num_clients=1, batch_size=1, seed=3)
+
+
+class TestBroadcastAuthentication:
+    def test_forged_broadcast_tag_is_rejected(self):
+        deployment = _deployment()
+        replica = deployment.primary_of(0)
+        message = Prepare(sender=ReplicaId(0, 1), view=0, sequence=1, batch_digest=b"\x00" * 32)
+        message.attach_auth(replica.auth_label, b"\x00" * 32)
+        replica.deliver(message)
+        assert replica.auth_rejections == 1
+        # The forged vote never reached the consensus log.
+        assert len(replica.log.slot(0, 1).prepares) == 0
+
+    def test_workload_broadcasts_authenticate_once_per_audience(self):
+        deployment = _deployment()
+        txn = (
+            TransactionBuilder("auth-t1", "client-0")
+            .read_modify_write(0, "user1", "v")
+            .read_modify_write(1, "user2", "w")
+            .build()
+        )
+        result = deployment.run_workload([txn], timeout=60.0)
+        assert result.all_completed
+        replicas = list(deployment.replicas.values())
+        tags = sum(r.auth_tags_created for r in replicas)
+        verifications = sum(r.auth_verifications for r in replicas)
+        cache_hits = sum(r.auth_cache_hits for r in replicas)
+        assert tags > 0
+        assert verifications > 0
+        # The shared-object memo means a broadcast to n peers verifies far
+        # fewer than n times: later receivers reuse the first verdict.
+        assert cache_hits > 0
+        assert all(r.auth_rejections == 0 for r in replicas)
