@@ -32,6 +32,17 @@ from repro.consensus.pbft.replica import PbftReplica
 class AhlReplica(PbftReplica):
     """One replica participating in AHL; committee membership is by shard id."""
 
+    #: AHL's 2PC messages are always broadcast by their actual sender with a
+    #: MAC vector covering every receiving replica (and carry no signatures),
+    #: so the tag is mandatory for them too -- omitting it must not skip the
+    #: gate.
+    _MAC_REQUIRED_TYPES = PbftReplica._MAC_REQUIRED_TYPES + (
+        Prepare2PC,
+        Vote2PC,
+        CommitteeVote,
+        Decide2PC,
+    )
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._records: dict[bytes, AhlRecord] = {}

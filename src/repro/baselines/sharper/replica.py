@@ -51,6 +51,15 @@ class SharperRecord:
 class SharperReplica(PbftReplica):
     """One replica participating in Sharper."""
 
+    #: Sharper's global rounds are always broadcast by their actual sender
+    #: with a MAC vector covering every receiving replica, so the tag is
+    #: mandatory -- omitting it must not skip the gate.
+    _MAC_REQUIRED_TYPES = PbftReplica._MAC_REQUIRED_TYPES + (
+        CrossPropose,
+        CrossPrepare,
+        CrossCommit,
+    )
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._records: dict[bytes, SharperRecord] = {}

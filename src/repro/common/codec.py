@@ -121,6 +121,13 @@ def _encode_bytes(value: bytes, out: list[bytes]) -> None:
 
 
 def _encode_float(value: float, out: list[bytes]) -> None:
+    if value != value:
+        # NaN compares unequal to itself, so NaN payloads would break both
+        # the "equal values -> identical bytes" contract and dict-key sorting
+        # (sorting a dict with NaN keys is input-order dependent).
+        raise MalformedMessageError("cannot canonically encode NaN")
+    if value == 0.0:
+        value = 0.0  # collapse -0.0: equal values must share one encoding
     out.append(_FLOAT)
     out.append(_F64.pack(value))
 
@@ -129,17 +136,22 @@ def _encode_bool(value: bool, out: list[bytes]) -> None:
     out.append(_TRUE if value else _FALSE)
 
 
-def _encode_dict(value: dict, out: list[bytes]) -> None:
-    out.append(_DICT)
-    out.append(_pack_len(len(value)))
+def _sorted_items(value: dict) -> list:
+    """Dict entries in canonical encoding order (shared by encode and the
+    decoder's canonical-form validation)."""
     try:
         # Fast path: homogeneous (string or int) keys sort natively.  Keys
         # are unique, so the tuple comparison never reaches the values.
-        items = sorted(value.items())
+        return sorted(value.items())
     except TypeError:
         # Mixed key types: order by encoded key bytes (total and type-safe).
-        items = [kv for _, kv in sorted((encode_canonical(k), (k, v)) for k, v in value.items())]
-    for key, val in items:
+        return [kv for _, kv in sorted((encode_canonical(k), (k, v)) for k, v in value.items())]
+
+
+def _encode_dict(value: dict, out: list[bytes]) -> None:
+    out.append(_DICT)
+    out.append(_pack_len(len(value)))
+    for key, val in _sorted_items(value):
         _encode_into(key, out)
         _encode_into(val, out)
 
@@ -232,9 +244,12 @@ def _encode_into(value: Any, out: list[bytes]) -> None:
 def encode_canonical(value: Any) -> bytes:
     """Deterministic, injective byte encoding of ``value``.
 
-    Two calls with equal values always return identical bytes; two calls with
-    *distinct* values (including distinct types carrying the same repr) always
-    return distinct bytes.
+    Two calls with equal values *of the same types* always return identical
+    bytes; values of distinct types always return distinct bytes -- even when
+    Python ``==`` equates them (``True`` vs ``1``, ``1`` vs ``1.0``), because
+    type-blind collapsing is exactly what broke injectivity in the old JSON
+    path.  Payload builders must therefore be type-stable: derive a field
+    from one code path, not sometimes-int/sometimes-bool.
     """
     out: list[bytes] = []
     _encode_into(value, out)
@@ -287,14 +302,28 @@ def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:
             raise MalformedMessageError("truncated bytes body")
         return data[pos : pos + length], pos + length
     if tag == _FLOAT:
-        return _F64.unpack_from(data, pos)[0], pos + 8
+        value = _F64.unpack_from(data, pos)[0]
+        # Mirror the encoder's canonicality rules: encode never emits NaN or
+        # the -0.0 bit pattern, so decode must reject them -- otherwise two
+        # distinct frames could decode to equal values and defeat
+        # digest-by-reencode checks.
+        if value != value:
+            raise MalformedMessageError("non-canonical float body: NaN")
+        if value == 0.0 and data[pos : pos + 8] != _F64.pack(0.0):
+            raise MalformedMessageError("non-canonical float body: -0.0")
+        return value, pos + 8
     if tag == _DICT:
         count, pos = _read_len(data, pos)
-        result = {}
+        items = []
         for _ in range(count):
             key, pos = _decode_from(data, pos)
             val, pos = _decode_from(data, pos)
-            result[key] = val
+            items.append((key, val))
+        result = dict(items)
+        if len(result) != count:
+            raise MalformedMessageError("duplicate dict keys in canonical encoding")
+        if count > 1 and [k for k, _ in items] != [k for k, _ in _sorted_items(result)]:
+            raise MalformedMessageError("non-canonical dict entry order")
         return result, pos
     if tag == _LIST:
         count, pos = _read_len(data, pos)
@@ -313,8 +342,17 @@ def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:
     if tag == _FROZENSET:
         count, pos = _read_len(data, pos)
         items = []
+        previous = None
         for _ in range(count):
+            start = pos
             item, pos = _decode_from(data, pos)
+            encoded = data[start:pos]
+            # Encode sorts elements by their encoded bytes (and a set cannot
+            # hold duplicates), so anything but a strictly increasing element
+            # sequence is a non-canonical frame.
+            if previous is not None and encoded <= previous:
+                raise MalformedMessageError("non-canonical frozenset element order")
+            previous = encoded
             items.append(item)
         return frozenset(items), pos
     if tag == _ENUM:
@@ -325,22 +363,40 @@ def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:
         cls = _WIRE_TYPES.get(name)
         if cls is None:
             raise MalformedMessageError(f"unknown enum wire type {name!r}")
+        if not (isinstance(cls, type) and issubclass(cls, enum.Enum)):
+            raise MalformedMessageError(f"wire type {name!r} is not an enum")
         return cls(value), pos
     if tag == _OBJECT:
         length, pos = _read_len(data, pos)
         name = data[pos : pos + length].decode()
         pos += length
         count, pos = _read_len(data, pos)
-        kwargs = {}
-        for _ in range(count):
-            flen, pos = _read_len(data, pos)
-            fname = data[pos : pos + flen].decode()
-            pos += flen
-            value, pos = _decode_from(data, pos)
-            kwargs[fname] = value
         cls = _WIRE_TYPES.get(name)
         if cls is None:
             raise MalformedMessageError(f"unknown object wire type {name!r}")
+        if not is_dataclass(cls):
+            raise MalformedMessageError(f"wire type {name!r} is not a dataclass")
+        # Enforce canonical form like the other containers: the encoder emits
+        # exactly the dataclass's fields in declaration order, so a frame with
+        # missing, duplicate, extra, or reordered fields must be rejected --
+        # not silently normalised into an equal object.
+        expected = _dataclass_plan(cls)[2]
+        if count != len(expected):
+            raise MalformedMessageError(
+                f"object frame for {name!r} carries {count} fields, expected {len(expected)}"
+            )
+        kwargs = {}
+        for index in range(count):
+            flen, pos = _read_len(data, pos)
+            fname = data[pos : pos + flen].decode()
+            pos += flen
+            if fname != expected[index]:
+                raise MalformedMessageError(
+                    f"non-canonical field order for {name!r}: "
+                    f"got {fname!r}, expected {expected[index]!r}"
+                )
+            value, pos = _decode_from(data, pos)
+            kwargs[fname] = value
         return cls(**kwargs), pos
     raise MalformedMessageError(f"unknown canonical type tag {tag!r}")
 

@@ -158,21 +158,18 @@ class KeyStore:
         }
 
     def mac_key(self, a: str, b: str) -> bytes:
-        """Pairwise MAC secret shared by entities ``a`` and ``b``."""
+        """Pairwise MAC secret shared by entities ``a`` and ``b``.
+
+        Broadcast authentication deliberately stays *pairwise* (a PBFT
+        authenticator is a vector of per-peer tags): a shared audience key
+        would let any of the up-to-``f`` Byzantine members of a shard forge
+        tags impersonating the primary to honest peers -- exactly the forgery
+        pairwise MACs exist to prevent.  The multicast fast path therefore
+        optimises the *serialization* under the tags (one memoised payload
+        for all ``n`` HMACs), never the key structure.
+        """
         lo, hi = sorted((a, b))
         return hmac.new(self._seed, b"mac|" + lo.encode() + b"|" + hi.encode(), hashlib.sha256).digest()
-
-    def group_key(self, label: str) -> bytes:
-        """Symmetric secret shared by a broadcast audience (e.g. one shard).
-
-        Group keys power the multicast authentication fast path: a sender
-        computes *one* MAC over a broadcast's (memoised) payload instead of a
-        per-peer MAC vector.  Like pairwise MACs they offer authenticity
-        without non-repudiation -- any group member could have produced the
-        tag -- which is exactly the intra-shard trust model of Section 3;
-        cross-shard evidence still uses digital signatures.
-        """
-        return hmac.new(self._seed, b"group|" + label.encode(), hashlib.sha256).digest()
 
 
 class SignatureScheme:
@@ -255,25 +252,15 @@ class MacAuthenticator:
         expected = hmac.new(self._key_for(peer), payload, hashlib.sha256).digest()
         return hmac.compare_digest(expected, tag)
 
-    def _group_key_for(self, label: str) -> bytes:
-        cache_key = "group|" + label
-        if cache_key not in self._cache:
-            self._cache[cache_key] = self.keystore.group_key(label)
-        return self._cache[cache_key]
+    def tag_vector(self, peers, payload: bytes) -> dict[str, bytes]:
+        """The PBFT authenticator: one pairwise tag per audience member.
 
-    def group_tag(self, label: str, payload: bytes) -> bytes:
-        """One MAC tag authenticating ``payload`` for a whole audience.
-
-        This is the broadcast fast path: the sender resolves the payload once
-        (it is memoised on the message) and produces a single tag for the
-        audience instead of ``n`` per-peer tags over ``n`` re-serialisations.
+        This is the broadcast fast path: ``payload`` is resolved once (it is
+        memoised on the message), so authenticating a fan-out of ``n`` costs
+        ``n`` HMACs over shared bytes instead of ``n`` re-serialisations.
+        The key structure stays pairwise -- see :meth:`KeyStore.mac_key`.
         """
-        return hmac.new(self._group_key_for(label), payload, hashlib.sha256).digest()
-
-    def verify_group(self, label: str, payload: bytes, tag: bytes) -> bool:
-        """Verify an audience tag produced by :meth:`group_tag`."""
-        expected = hmac.new(self._group_key_for(label), payload, hashlib.sha256).digest()
-        return hmac.compare_digest(expected, tag)
+        return {peer: self.tag(peer, payload) for peer in peers}
 
 
 def verify_certificate(

@@ -83,12 +83,16 @@ class Message:
     # broadcast authentication side-channel
     # ------------------------------------------------------------------
     #
-    # Group-MAC tags ride alongside the frozen message (one tag per audience
-    # label, e.g. "shard:2").  They live outside the dataclass fields so they
-    # never affect equality, hashing, or the canonical payload -- exactly like
-    # a MAC trailer on a real wire frame.  Tags are keyed by audience so a
-    # message relayed through several shards accumulates one tag per shard
-    # without the relays clobbering each other.
+    # The sender's MAC vector (one pairwise tag per receiver, keyed
+    # "peer:<replica>") rides alongside the frozen message.  Tags live outside
+    # the dataclass fields so they never affect equality, hashing, or the
+    # canonical payload -- exactly like a MAC trailer on a real wire frame.
+    # Each receiver verifies *its own* tag against the claimed sender's
+    # pairwise key; no verification verdict is ever cached on the shared
+    # object, so no receiver (or Byzantine code path) can vouch a tag for
+    # anyone else, and nothing depends on receivers sharing object identity
+    # (a socket transport that deserialises per-receiver copies only needs to
+    # carry the tag map).
 
     def attach_auth(self, label: str, tag: bytes) -> None:
         tags = self.__dict__.get("_auth_tags")
@@ -100,23 +104,6 @@ class Message:
     def auth_tag(self, label: str) -> bytes | None:
         tags = self.__dict__.get("_auth_tags")
         return None if tags is None else tags.get(label)
-
-    def auth_verified(self, label: str) -> bool:
-        """Whether some replica already verified this object's tag for ``label``.
-
-        Verification of an HMAC tag is a pure function of the (shared) key and
-        the (memoised) payload, so once one audience member checked it the
-        result can be reused by every later delivery of the same object.
-        """
-        verified = self.__dict__.get("_auth_verified")
-        return verified is not None and label in verified
-
-    def mark_auth_verified(self, label: str) -> None:
-        verified = self.__dict__.get("_auth_verified")
-        if verified is None:
-            verified = set()
-            object.__setattr__(self, "_auth_verified", verified)
-        verified.add(label)
 
 
 # ---------------------------------------------------------------------------
@@ -408,7 +395,11 @@ class ViewChange(Message):
             "sender": str(self.sender),
             "new_view": self.new_view,
             "stable": self.last_stable_sequence,
-            "prepared": [p.sequence for p in self.prepared],
+            # Bind the full prepared claims, not just the sequence numbers: a
+            # tag over a weaker payload could be replayed onto a forged
+            # variant carrying different digests.  The batch contents are
+            # bound transitively through batch_digest (collision resistance).
+            "prepared": [[p.sequence, p.view, p.batch_digest] for p in self.prepared],
         }
 
 
@@ -435,6 +426,11 @@ class NewView(Message):
             "view": self.view,
             "vc": list(self.view_change_senders),
             "abandoned": list(self.abandoned),
+            # Bind the re-proposals: without this, a valid tag could be
+            # replayed onto a variant of the NewView carrying attacker-chosen
+            # batches.  Each re-proposal's requests are bound through its
+            # batch_digest, which _handle_pre_prepare re-checks.
+            "reproposals": [[p.sequence, p.view, p.batch_digest] for p in self.reproposals],
         }
 
 

@@ -82,12 +82,11 @@ class PbftReplica(Node):
         self._signing_key = keystore.signing_key(str(replica_id))
 
         # Broadcast authentication (intra-shard MACs, Section 3) -----------
-        #: Audience label of this shard's broadcast group; one group MAC over
-        #: the memoised payload authenticates a whole fan-out.
-        self.auth_label = f"shard:{self.shard_id}"
+        #: Label under which this replica looks up its own tag in a received
+        #: message's MAC vector.
+        self.auth_label = f"peer:{replica_id}"
         self.auth_tags_created = 0
         self.auth_verifications = 0
-        self.auth_cache_hits = 0
         self.auth_rejections = 0
 
         # Consensus state -------------------------------------------------
@@ -172,26 +171,24 @@ class PbftReplica(Node):
     def _broadcast_shard(self, message, include_self: bool = True) -> None:
         """Broadcast to every replica of this shard, honouring dark-target attacks."""
         targets = [r for r in self.shard_peers if r not in self.dark_targets]
-        self._authenticate_for_audience(
-            message, self.auth_label, [r for r in targets if r != self.replica_id]
-        )
+        self._authenticate_for_audience(message, [r for r in targets if r != self.replica_id])
         self.broadcast(targets, message, include_self=include_self)
 
     # ------------------------------------------------------------------
-    # broadcast authentication (once per audience, not once per peer)
+    # broadcast authentication (pairwise MAC vector, one payload resolve)
     # ------------------------------------------------------------------
 
-    def _authenticate_for_audience(self, message, label: str, peers) -> None:
-        """Attach MAC authentication for a broadcast audience.
+    def _authenticate_for_audience(self, message, peers) -> None:
+        """Attach the PBFT authenticator (per-peer MAC vector) for a broadcast.
 
-        Fast path: one group MAC over the message's memoised payload covers
-        the whole audience, so a fan-out of ``n`` costs a single HMAC (and
-        zero HMACs on retransmission -- the tag for the label is already
-        attached).  In the benchmark-only legacy mode this degrades to the
-        naive per-peer MAC vector, each tag re-serialising the payload.
+        The key structure stays pairwise -- a shared audience key would let a
+        Byzantine shard member forge the primary's messages -- so the fast
+        path optimises the bytes *under* the tags: the memoised payload is
+        resolved once and shared by all ``n`` HMACs, and retransmissions of
+        the same object to the same peers mint no new tags.  In the
+        benchmark-only legacy mode every tag re-serialises the payload, which
+        reproduces the pre-codec cost profile.
         """
-        if not peers:
-            return
         if codec.LEGACY.enabled:
             for peer in peers:
                 message.attach_auth(
@@ -199,43 +196,62 @@ class PbftReplica(Node):
                 )
             self.auth_tags_created += len(peers)
             return
-        if message.auth_tag(label) is None:
-            message.attach_auth(label, self.mac.group_tag(label, message.payload_bytes()))
-            self.auth_tags_created += 1
+        missing = [peer for peer in peers if message.auth_tag(f"peer:{peer}") is None]
+        if not missing:
+            return
+        vector = self.mac.tag_vector([str(peer) for peer in missing], message.payload_bytes())
+        for peer in missing:
+            message.attach_auth(f"peer:{peer}", vector[str(peer)])
+        self.auth_tags_created += len(missing)
 
     def _authenticate_cross_shard_broadcast(self, message, shards) -> None:
-        """Authenticate a broadcast spanning several shards: one tag per
-        audience shard (AHL's 2PC and Sharper's global rounds fan one message
-        out to every replica of every involved shard)."""
-        for shard in sorted(shards):
-            peers = [r for r in self.directory.replicas_of(shard) if r != self.replica_id]
-            self._authenticate_for_audience(message, f"shard:{shard}", peers)
+        """Authenticate a broadcast spanning several shards (AHL's 2PC and
+        Sharper's global rounds fan one message out to every replica of every
+        involved shard): one pairwise tag per receiving replica, all over the
+        same memoised payload."""
+        peers = [
+            r
+            for shard in sorted(shards)
+            for r in self.directory.replicas_of(shard)
+            if r != self.replica_id
+        ]
+        self._authenticate_for_audience(message, peers)
+
+    #: Message types that are always sent with a MAC vector and therefore
+    #: MUST carry a valid tag for the receiver -- a sender cannot opt out of
+    #: authentication by omitting the tag.  State transfer is included: its
+    #: f+1 agreement counts *distinct senders*, which only means anything if
+    #: the sender fields are authenticated.  Every other type is covered by
+    #: its own mechanism (client signatures on requests, subclass-specific
+    #: certificates) or is client traffic; subclasses extend this set with
+    #: their own always-tagged broadcast types.
+    _MAC_REQUIRED_TYPES = (
+        PrePrepare,
+        Prepare,
+        Commit,
+        Checkpoint,
+        ViewChange,
+        NewView,
+        StateTransferRequest,
+        StateTransferReply,
+    )
 
     def _verify_broadcast_auth(self, message) -> bool:
-        """Check the MAC authentication riding on a delivered broadcast.
+        """Check the MAC vector riding on a delivered message.
 
-        Verification is memoised on the shared message object: the first
-        audience member pays one HMAC over the memoised payload, the rest of
-        the shard reuses the verdict.  Messages without a tag for this
-        audience (unicast traffic, client requests, cross-shard relays before
-        local sharing) are accepted -- their own authentication mechanisms
-        (client/commit signatures, Forward certificates) still apply.
+        The receiver verifies *its own* pairwise tag against the claimed
+        sender's key -- one HMAC over the memoised payload.  The verdict is
+        never cached on the shared object, so no other receiver (honest or
+        Byzantine) can vouch for it.  The sender field earns no trust here --
+        a received message claiming *this* replica as sender is checked like
+        any other (genuine loopbacks bypass the gate via
+        :meth:`deliver_loopback` and never reach it).
         """
         tag = message.auth_tag(self.auth_label)
-        if tag is not None:
-            if message.auth_verified(self.auth_label):
-                self.auth_cache_hits += 1
-                return True
-            ok = self.mac.verify_group(self.auth_label, message.payload_bytes(), tag)
-            self.auth_verifications += 1
-            if ok:
-                message.mark_auth_verified(self.auth_label)
-            else:
-                self.auth_rejections += 1
-            return ok
-        peer_label = f"peer:{self.replica_id}"
-        tag = message.auth_tag(peer_label)
         if tag is None:
+            if isinstance(message, self._MAC_REQUIRED_TYPES):
+                self.auth_rejections += 1
+                return False
             return True
         ok = self.mac.verify(str(message.sender), message.payload_bytes(), tag)
         self.auth_verifications += 1
@@ -250,6 +266,17 @@ class PbftReplica(Node):
     def on_message(self, message) -> None:
         if not self._verify_broadcast_auth(message):
             return
+        self._dispatch(message)
+
+    def deliver_loopback(self, message) -> None:
+        """This replica's own broadcast looping back: no network hop, no MAC
+        gate (the gate would otherwise reject it -- a sender does not tag
+        itself, and a *received* message naming us as sender is spoofable)."""
+        if self.crashed:
+            return
+        self._dispatch(message)
+
+    def _dispatch(self, message) -> None:
         if isinstance(message, ClientRequest):
             self._handle_client_request(message)
         elif isinstance(message, PrePrepare):
@@ -739,7 +766,9 @@ class PbftReplica(Node):
         self._state_transfer_in_flight = True
         self._state_replies = {}
         request = StateTransferRequest(sender=self.replica_id, last_executed=self.last_executed)
-        self.broadcast([r for r in self.shard_peers if r != self.replica_id], request)
+        peers = [r for r in self.shard_peers if r != self.replica_id]
+        self._authenticate_for_audience(request, peers)
+        self.broadcast(peers, request)
         # Allow another attempt later if this one never completes.
         self.set_timer(
             "state-transfer",
@@ -767,6 +796,7 @@ class PbftReplica(Node):
             executed_txn_ids=self.executor.executed_txn_ids(),
             blocks=self.ledger.blocks()[1:],
         )
+        self._authenticate_for_audience(reply, [message.sender])
         self.send(message.sender, reply)
 
     def _handle_state_reply(self, message: StateTransferReply) -> None:

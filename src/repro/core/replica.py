@@ -24,7 +24,6 @@ of the intra-shard PBFT engine:
 
 from __future__ import annotations
 
-from repro.common import codec
 from repro.common.crypto import verify_certificate
 from repro.common.messages import (
     ClientRequest,
@@ -41,6 +40,13 @@ from repro.errors import ConfigurationError
 
 class RingBftReplica(PbftReplica):
     """A replica of one shard participating in RingBFT."""
+
+    #: Cross-shard messages are tagged by their original sender for *every*
+    #: replica of the destination shard (not just the unicast counterpart),
+    #: so local relays stay verifiable and the tag is mandatory: the f+1
+    #: distinct-sender counts on Forward/Execute/RemoteView must count
+    #: authenticated senders, not spoofable sender fields.
+    _MAC_REQUIRED_TYPES = PbftReplica._MAC_REQUIRED_TYPES + (Forward, Execute, RemoteView)
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -205,6 +211,11 @@ class RingBftReplica(PbftReplica):
             read_sets={shard: dict(values) for shard, values in record.write_sets.items()},
         )
         next_shard = self._next_shard_for(record)
+        # Tag every replica of the destination shard even though only the
+        # counterpart receives the unicast: the local relay (Figure 5, lines
+        # 29-30) forwards this same object, so the whole shard can verify the
+        # original sender's MAC vector.
+        self._authenticate_cross_shard_broadcast(message, (next_shard,))
         self.send(self._counterpart(next_shard), message)
         record.forwarded = True
         self._arm_transmit_timer(record)
@@ -262,12 +273,10 @@ class RingBftReplica(PbftReplica):
             return
         seen.add(key)
         peers = [r for r in self.shard_peers if r != self.replica_id]
-        # Group-tag the relay for the local audience (one HMAC over the
-        # memoised payload).  The per-peer legacy path would not apply here:
-        # the relayed message keeps its *original* cross-shard sender, so
-        # pairwise tags minted by the relayer could never verify against it.
-        if not codec.LEGACY.enabled:
-            self._authenticate_for_audience(message, self.auth_label, peers)
+        # The relayed message keeps its *original* cross-shard sender, and it
+        # already carries that sender's MAC vector for every replica of this
+        # shard (minted at _send_forward/_send_execute time), so each peer
+        # verifies the original sender directly -- the relayer adds nothing.
         self.broadcast(peers, message)
 
     def _verify_forward(self, message: Forward) -> bool:
@@ -354,6 +363,7 @@ class RingBftReplica(PbftReplica):
             batch_digest=digest,
             target_shard=origin,
         )
+        self._authenticate_cross_shard_broadcast(message, (origin,))
         self.send(self._counterpart(origin), message)
 
     # ------------------------------------------------------------------
@@ -395,6 +405,9 @@ class RingBftReplica(PbftReplica):
             origin_shard=self.shard_id,
         )
         next_shard = self._next_shard_for(record)
+        # Same pattern as _send_forward: the vector covers the whole
+        # destination shard so the local relay stays verifiable.
+        self._authenticate_cross_shard_broadcast(message, (next_shard,))
         self.send(self._counterpart(next_shard), message)
 
     def _handle_execute(self, message: Execute) -> None:

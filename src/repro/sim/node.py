@@ -62,13 +62,23 @@ class Node:
             self.stats.record_fanout(message, len(targets))
             self.network.multicast(self.address, targets, message)
         if include_self:
-            self.deliver(message)
+            self.deliver_loopback(message)
 
     def deliver(self, message: Message) -> None:
         """Entry point used by the network; ignores traffic while crashed."""
         if self.crashed:
             return
         self.on_message(message)
+
+    def deliver_loopback(self, message: Message) -> None:
+        """Local delivery of this node's own broadcast (no network hop).
+
+        Subclasses that gate network deliveries (e.g. MAC verification) may
+        override this to skip the gate: a loopback never crossed the network,
+        whereas a *received* message claiming this node as sender must still
+        be verified -- trusting the sender field would let anyone spoof it.
+        """
+        self.deliver(message)
 
     def on_message(self, message: Message) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

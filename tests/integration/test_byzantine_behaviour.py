@@ -27,11 +27,24 @@ def _request(txn_id, shards, cluster):
     return ClientRequest(sender="client-0", transaction=builder.build())
 
 
+def _deliver_tagged(sender_replica, message, receiver):
+    """Deliver a hand-crafted broadcast with a genuine MAC tag.
+
+    Intra-shard broadcasts must carry a valid pairwise tag from the claimed
+    sender; a Byzantine sender *can* always mint tags with its own keys, so
+    these attacks are injected fully authenticated -- the defences under test
+    are the protocol-level well-formedness rules, not the MAC gate.
+    """
+    sender_replica._authenticate_for_audience(message, [receiver.replica_id])
+    receiver.deliver(message)
+
+
 class TestEquivocatingPrimary:
     def test_second_proposal_for_same_sequence_is_rejected(self):
         cluster = build_cluster(num_shards=1)
         replica = cluster.replica(0, 1)
-        primary = cluster.primary_of(0).replica_id
+        primary_replica = cluster.primary_of(0)
+        primary = primary_replica.replica_id
 
         first = _request("equivocate-a", (0,), cluster)
         second = _request("equivocate-b", (0,), cluster)
@@ -41,8 +54,8 @@ class TestEquivocatingPrimary:
         proposal_b = PrePrepare(
             sender=primary, view=0, sequence=1, batch_digest=batch_digest((second,)), requests=(second,)
         )
-        replica.deliver(proposal_a)
-        replica.deliver(proposal_b)
+        _deliver_tagged(primary_replica, proposal_a, replica)
+        _deliver_tagged(primary_replica, proposal_b, replica)
         # The replica binds to the first proposal only: exactly one Prepare
         # broadcast (one send per shard peer), not two.
         assert replica.log.accepted_digest(0, 1) == proposal_a.batch_digest
@@ -51,23 +64,31 @@ class TestEquivocatingPrimary:
     def test_proposal_from_non_primary_is_ignored(self):
         cluster = build_cluster(num_shards=1)
         replica = cluster.replica(0, 1)
-        impostor = cluster.replica(0, 2).replica_id
+        impostor_replica = cluster.replica(0, 2)
         request = _request("impostor", (0,), cluster)
         proposal = PrePrepare(
-            sender=impostor, view=0, sequence=1, batch_digest=batch_digest((request,)), requests=(request,)
+            sender=impostor_replica.replica_id,
+            view=0,
+            sequence=1,
+            batch_digest=batch_digest((request,)),
+            requests=(request,),
         )
-        replica.deliver(proposal)
+        _deliver_tagged(impostor_replica, proposal, replica)
         assert not replica.log.has_accepted(0, 1)
 
     def test_proposal_with_mismatched_digest_is_ignored(self):
         cluster = build_cluster(num_shards=1)
         replica = cluster.replica(0, 1)
-        primary = cluster.primary_of(0).replica_id
+        primary_replica = cluster.primary_of(0)
         request = _request("bad-digest", (0,), cluster)
         proposal = PrePrepare(
-            sender=primary, view=0, sequence=1, batch_digest=b"\x00" * 32, requests=(request,)
+            sender=primary_replica.replica_id,
+            view=0,
+            sequence=1,
+            batch_digest=b"\x00" * 32,
+            requests=(request,),
         )
-        replica.deliver(proposal)
+        _deliver_tagged(primary_replica, proposal, replica)
         assert not replica.log.has_accepted(0, 1)
 
 
@@ -90,7 +111,9 @@ class TestForgedForwardCertificates:
         receiver = cluster.replica(1, 0)
         requests = (_request("forged-cst", (0, 1), cluster),)
         forward = self._forward(cluster, signatures=(), requests=requests)
-        receiver.deliver(forward)
+        # Tagged by its genuine sender: the defence under test is the missing
+        # commit certificate, not the MAC gate.
+        _deliver_tagged(cluster.replica(0, 0), forward, receiver)
         assert receiver.cross_record(forward.batch_digest) is None
 
     def test_forward_with_forged_signatures_is_ignored(self):
@@ -105,7 +128,22 @@ class TestForgedForwardCertificates:
             scheme.sign(f"r{i}@S0", b"not-the-commit-payload") for i in range(3)
         )
         forward = self._forward(cluster, signatures=bad_signatures, requests=requests)
-        receiver.deliver(forward)
+        _deliver_tagged(cluster.replica(0, 0), forward, receiver)
+        assert receiver.cross_record(digest) is None
+
+    def test_untagged_forward_is_rejected_before_certificate_checks(self):
+        cluster = build_cluster(num_shards=2)
+        receiver = cluster.replica(1, 0)
+        requests = (_request("untagged-fwd", (0, 1), cluster),)
+        digest = batch_digest(requests)
+        commit = Commit(sender=cluster.replica(0, 0).replica_id, view=0, sequence=1, batch_digest=digest)
+        scheme = SignatureScheme(cluster.keystore)
+        signatures = tuple(
+            scheme.sign(f"r{i}@S0", commit.signed_payload()) for i in range(3)
+        )
+        forward = self._forward(cluster, signatures=signatures, requests=requests)
+        receiver.deliver(forward)  # genuine certificate, but no MAC vector
+        assert receiver.auth_rejections == 1
         assert receiver.cross_record(digest) is None
 
     def test_forward_with_genuine_certificate_is_accepted(self):
@@ -119,7 +157,7 @@ class TestForgedForwardCertificates:
             scheme.sign(f"r{i}@S0", commit.signed_payload()) for i in range(3)
         )
         forward = self._forward(cluster, signatures=signatures, requests=requests)
-        receiver.deliver(forward)
+        _deliver_tagged(cluster.replica(0, 0), forward, receiver)
         record = receiver.cross_record(digest)
         assert record is not None
         assert record.forward_senders[0] == {str(cluster.replica(0, 0).replica_id)}
@@ -161,7 +199,7 @@ class TestSafetyUnderEquivocationAttempt:
             requests=(other,),
         )
         for replica in cluster.shard_replicas(0):
-            replica.deliver(equivocation)
+            _deliver_tagged(primary, equivocation, replica)
         cluster.run(duration=cluster.simulator.now + 5.0)
         for replica in cluster.shard_replicas(0):
             assert replica.ledger.contains_txn("honest-commit")

@@ -137,6 +137,95 @@ class TestRoundTrip:
         assert {"Transaction", "ClientRequest", "Forward", "Commit", "Block", "Signature"} <= names
 
 
+class TestCanonicalForm:
+    """Decode must be the exact inverse of encode: every value has ONE frame."""
+
+    def test_negative_zero_encodes_like_positive_zero(self):
+        assert encode_canonical(-0.0) == encode_canonical(0.0)
+        assert encode_canonical({"k": -0.0}) == encode_canonical({"k": 0.0})
+
+    def test_nan_is_rejected(self):
+        with pytest.raises(MalformedMessageError):
+            encode_canonical(float("nan"))
+        with pytest.raises(MalformedMessageError):
+            encode_canonical({float("nan"): "v"})
+
+    def test_decoder_rejects_negative_zero_and_nan_frames(self):
+        import struct
+
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(b"D" + struct.pack(">d", -0.0))
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(b"D" + struct.pack(">d", float("nan")))
+
+    def test_decoder_rejects_out_of_order_dict_entries(self):
+        frame = encode_canonical({"a": 1, "b": 2})
+        # Splice the two entries into reverse order: same logical value,
+        # different bytes -- decode must refuse rather than collapse them.
+        header = frame[:5]
+        entry_a = encode_canonical("a") + encode_canonical(1)
+        entry_b = encode_canonical("b") + encode_canonical(2)
+        assert frame == header + entry_a + entry_b
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(header + entry_b + entry_a)
+
+    def test_decoder_rejects_duplicate_dict_keys(self):
+        frame = encode_canonical({"a": 1})
+        header = b"M" + frame[1:5].replace(b"\x01", b"\x02")
+        entry = frame[5:]
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(header + entry + entry)
+
+    def test_decoder_rejects_out_of_order_frozenset_elements(self):
+        frame = encode_canonical(frozenset({1, 2}))
+        header = frame[:5]
+        one, two = encode_canonical(1), encode_canonical(2)
+        assert frame == header + one + two
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(header + two + one)
+
+    def test_decoder_rejects_duplicate_frozenset_elements(self):
+        header = b"Z\x00\x00\x00\x02"
+        one = encode_canonical(1)
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(header + one + one)
+
+    def test_mixed_key_dict_order_is_validated_with_the_encoders_order(self):
+        value = {1: "x", "1": "y", b"1": "z"}
+        assert decode_canonical(encode_canonical(value)) == value
+
+    @staticmethod
+    def _object_frame(entries):
+        import struct
+
+        name = b"ReplicaId"
+        frame = b"O" + struct.pack(">I", len(name)) + name + struct.pack(">I", len(entries))
+        for fname, value in entries:
+            frame += struct.pack(">I", len(fname)) + fname + encode_canonical(value)
+        return frame
+
+    def test_decoder_rejects_reordered_object_fields(self):
+        good = self._object_frame([(b"shard", 1), (b"index", 2)])
+        assert good == encode_canonical(ReplicaId(shard=1, index=2))
+        assert decode_canonical(good) == ReplicaId(shard=1, index=2)
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(self._object_frame([(b"index", 2), (b"shard", 1)]))
+
+    def test_decoder_rejects_duplicate_and_missing_object_fields(self):
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(self._object_frame([(b"shard", 1), (b"shard", 1)]))
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(self._object_frame([(b"shard", 1)]))
+
+    def test_decoder_rejects_enum_frame_naming_a_non_enum(self):
+        import struct
+
+        name = b"ReplicaId"
+        frame = b"E" + struct.pack(">I", len(name)) + name + encode_canonical(1)
+        with pytest.raises(MalformedMessageError):
+            decode_canonical(frame)
+
+
 class TestDigestInjectivityRegression:
     """Adversarial field values that collided under JSON canonicalization."""
 
