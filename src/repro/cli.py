@@ -17,6 +17,13 @@ Examples::
     # Sustain open-loop Poisson load across checkpoint intervals and report
     # the retained-state gauges (steady-state memory behaviour).
     ringbft steady --rate 50 --intervals 20 --checkpoint-interval 4
+
+    # Run a full deployment over real TCP loopback, one OS process per
+    # replica, and aggregate the fleet's metrics.
+    ringbft deploy-local --shards 2 --replicas-per-shard 4 --transactions 24
+
+    # (Usually spawned by deploy-local:) host one replica over TCP.
+    ringbft serve --shard 0 --index 1 --address-file /tmp/addresses.json
 """
 
 from __future__ import annotations
@@ -171,6 +178,68 @@ def _cmd_steady(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.launcher import AddressBook, build_system_config, serve_replica
+
+    config = build_system_config(
+        shards=args.shards,
+        replicas_per_shard=args.replicas_per_shard,
+        num_records=args.num_records,
+        cross_shard=args.cross_shard,
+        checkpoint_interval=args.checkpoint_interval,
+        seed=args.seed,
+        num_clients=args.num_clients,
+    )
+    return serve_replica(
+        shard=args.shard,
+        index=args.index,
+        address_book=AddressBook.read(args.address_file),
+        config=config,
+        replica_class=_PROTOCOLS[args.protocol],
+        batch_size=args.batch_size,
+        seed=args.seed,
+        max_runtime=args.max_runtime,
+    )
+
+
+def _cmd_deploy_local(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.net.launcher import deploy_local
+
+    outcome = deploy_local(
+        shards=args.shards,
+        replicas_per_shard=args.replicas_per_shard,
+        transactions=args.transactions,
+        num_clients=args.clients,
+        cross_shard=args.cross_shard,
+        num_records=args.num_records,
+        checkpoint_interval=args.checkpoint_interval,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    result = outcome.result
+    aggregate = outcome.aggregate
+    print(f"processes           : {aggregate['processes']} "
+          f"({args.shards} shards x {args.replicas_per_shard} replicas + coordinator)")
+    print(f"completed           : {result.completed}/{result.submitted}")
+    print(f"duration            : {result.duration_s:.3f}s (wall-clock == protocol time)")
+    print(f"throughput          : {result.throughput_tps:.1f} txn/s")
+    print(f"average latency     : {result.avg_latency * 1000:.1f} ms "
+          f"(p99 {result.p99_latency * 1000:.1f} ms)")
+    print(f"messages exchanged  : {result.total_messages}")
+    print(f"bytes on wire       : {aggregate['bytes_on_wire']}")
+    print(f"auth rejections     : {aggregate['auth_rejections']} "
+          f"(of {aggregate['auth_verifications']} verifications)")
+    print(f"ledgers consistent  : {result.ledgers_consistent}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(outcome.report(), fh, indent=2)
+        print(f"wrote               : {args.json}")
+    return 0 if outcome.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ringbft",
@@ -245,6 +314,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="realtime backend only: compress every delay by this factor",
     )
     steady_parser.set_defaults(func=_cmd_steady)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="host one replica of a networked deployment over TCP "
+        "(normally spawned by deploy-local)",
+    )
+    serve_parser.add_argument("--shard", type=int, required=True)
+    serve_parser.add_argument("--index", type=int, required=True)
+    serve_parser.add_argument(
+        "--address-file", required=True, help="AddressBook JSON written by the launcher"
+    )
+    serve_parser.add_argument("--protocol", choices=sorted(_PROTOCOLS), default="ringbft")
+    serve_parser.add_argument("--shards", type=int, default=2)
+    serve_parser.add_argument("--replicas-per-shard", type=int, default=4)
+    serve_parser.add_argument("--num-records", type=int, default=1_000)
+    serve_parser.add_argument("--cross-shard", type=float, default=0.3)
+    serve_parser.add_argument("--checkpoint-interval", type=int, default=100)
+    serve_parser.add_argument("--batch-size", type=int, default=1)
+    serve_parser.add_argument("--num-clients", type=int, default=2)
+    serve_parser.add_argument("--seed", type=int, default=2022)
+    serve_parser.add_argument(
+        "--max-runtime",
+        type=float,
+        default=600.0,
+        help="exit with status 1 if no shutdown arrives within this many seconds",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    deploy_parser = sub.add_parser(
+        "deploy-local",
+        help="run a full deployment over TCP loopback, one OS process per replica",
+    )
+    deploy_parser.add_argument("--shards", type=int, default=2)
+    deploy_parser.add_argument("--replicas-per-shard", type=int, default=4)
+    deploy_parser.add_argument("--transactions", type=int, default=24)
+    deploy_parser.add_argument("--clients", type=int, default=2)
+    deploy_parser.add_argument("--cross-shard", type=float, default=0.3)
+    deploy_parser.add_argument("--num-records", type=int, default=1_000)
+    deploy_parser.add_argument("--checkpoint-interval", type=int, default=100)
+    deploy_parser.add_argument("--batch-size", type=int, default=1)
+    deploy_parser.add_argument("--seed", type=int, default=2022)
+    deploy_parser.add_argument("--timeout", type=float, default=120.0)
+    deploy_parser.add_argument("--json", help="also write the aggregated report to this file")
+    deploy_parser.set_defaults(func=_cmd_deploy_local)
 
     return parser
 

@@ -256,6 +256,19 @@ def encode_canonical(value: Any) -> bytes:
     return b"".join(out)
 
 
+def tuple_frame(encoded_items: tuple[bytes, ...] | list[bytes]) -> bytes:
+    """Assemble the canonical encoding of a tuple from pre-encoded items.
+
+    The codec is compositional: the bytes a value contributes inside a
+    container are exactly its own :func:`encode_canonical` output.  This
+    helper exploits that for fan-out fast paths -- a socket multicast encodes
+    the expensive shared suffix (tags + message) once and prepends only the
+    per-destination item, yielding bytes identical to
+    ``encode_canonical(tuple(items))``.
+    """
+    return _TUPLE + _pack_len(len(encoded_items)) + b"".join(encoded_items)
+
+
 # ---------------------------------------------------------------------------
 # decoding
 # ---------------------------------------------------------------------------

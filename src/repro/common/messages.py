@@ -105,6 +105,17 @@ class Message:
         tags = self.__dict__.get("_auth_tags")
         return None if tags is None else tags.get(label)
 
+    def auth_tags(self) -> dict[str, bytes]:
+        """The full MAC vector riding on this message (copy).
+
+        The socket transport ships the *whole* vector with every wire copy --
+        not just the addressee's tag -- because RingBFT's local relay forwards
+        a received cross-shard message to shard peers, who must verify the
+        original sender's tags for themselves.
+        """
+        tags = self.__dict__.get("_auth_tags")
+        return {} if tags is None else dict(tags)
+
 
 # ---------------------------------------------------------------------------
 # Client traffic

@@ -610,10 +610,9 @@ class PbftReplica(Node):
         self.send(request.transaction.client_id, response)
 
     def _sequence_of_txn(self, txn_id: str) -> int:
-        for block in self.ledger.blocks():
-            if txn_id in block.txn_ids:
-                return block.sequence
-        return 0
+        # O(1) via the ledger's txn index (retransmitted client requests used
+        # to trigger a linear scan over every block ever committed).
+        return self.ledger.sequence_of(txn_id)
 
     # ------------------------------------------------------------------
     # sequence-ordered locking helpers (used by RingBFT, AHL, Sharper)

@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.common.messages import ClientRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.common.messages import Forward
 
 
 @dataclass
@@ -40,6 +44,13 @@ class CrossShardRecord:
 
     #: Accumulated write sets (the Sigma of the paper), per shard.
     write_sets: dict[int, dict[str, str]] = field(default_factory=dict)
+    #: Bumped whenever ``write_sets`` *content* changes.  The outbound Forward
+    #: is rebuilt only when this moved, so retransmissions reuse one frozen
+    #: message object -- its payload memo, MAC vector, and wire encoding all
+    #: amortise across the whole retransmission burst.
+    write_sets_version: int = 0
+    cached_forward: "Forward | None" = None
+    cached_forward_version: int = -1
 
     #: True when an Execute quorum arrived before the local lock was acquired.
     execute_ready: bool = False
@@ -67,8 +78,19 @@ class CrossShardRecord:
         return len(senders)
 
     def merge_write_sets(self, incoming: dict[int, dict[str, str]]) -> None:
+        changed = False
         for shard, writes in incoming.items():
-            self.write_sets.setdefault(shard, {}).update(writes)
+            target = self.write_sets.setdefault(shard, {})
+            for key, value in writes.items():
+                if target.get(key) != value:
+                    target[key] = value
+                    changed = True
+        if changed:
+            self.write_sets_version += 1
+
+    def add_local_writes(self, shard: int, values: dict[str, str]) -> None:
+        """Record this shard's own read/write values (version-tracked)."""
+        self.merge_write_sets({shard: values})
 
     @property
     def txn_ids(self) -> tuple[str, ...]:

@@ -139,7 +139,7 @@ class RingBftReplica(PbftReplica):
             for key in self._lock_keys_for(batch)
             if key in self.store
         }
-        record.write_sets.setdefault(self.shard_id, {}).update(local_reads)
+        record.add_local_writes(self.shard_id, local_reads)
         self._send_forward(record)
         if record.execute_ready:
             # An Execute quorum arrived while we were still locking.
@@ -195,21 +195,29 @@ class RingBftReplica(PbftReplica):
     def _send_forward(self, record: CrossShardRecord) -> None:
         if record.sequence is None or self.drop_forwards:
             return
-        certificate = self.log.commit_certificate(
-            self.shard_id,
-            record.commit_view,
-            record.sequence,
-            record.batch_digest,
-            self.quorum.commit_quorum,
-        )
-        message = Forward(
-            sender=self.replica_id,
-            requests=record.requests,
-            certificate=certificate,
-            batch_digest=record.batch_digest,
-            origin_shard=self.shard_id,
-            read_sets={shard: dict(values) for shard, values in record.write_sets.items()},
-        )
+        # Reuse the Forward across retransmissions: rebuilding it every time
+        # minted a fresh frozen object whose payload memo, MAC vector, and
+        # wire encoding all started cold.  Rebuild only when the accumulated
+        # read sets actually changed since the cached copy was built.
+        message = record.cached_forward
+        if message is None or record.cached_forward_version != record.write_sets_version:
+            certificate = self.log.commit_certificate(
+                self.shard_id,
+                record.commit_view,
+                record.sequence,
+                record.batch_digest,
+                self.quorum.commit_quorum,
+            )
+            message = Forward(
+                sender=self.replica_id,
+                requests=record.requests,
+                certificate=certificate,
+                batch_digest=record.batch_digest,
+                origin_shard=self.shard_id,
+                read_sets={shard: dict(values) for shard, values in record.write_sets.items()},
+            )
+            record.cached_forward = message
+            record.cached_forward_version = record.write_sets_version
         next_shard = self._next_shard_for(record)
         # Tag every replica of the destination shard even though only the
         # counterpart receives the unicast: the local relay (Figure 5, lines
@@ -383,7 +391,7 @@ class RingBftReplica(PbftReplica):
         local_writes: dict[str, str] = {}
         for result in results:
             local_writes.update(result.writes)
-        record.write_sets.setdefault(self.shard_id, {}).update(local_writes)
+        record.add_local_writes(self.shard_id, local_writes)
         record.executed = True
         self.last_executed = max(self.last_executed, record.sequence)
         self.log.mark(record.commit_view, record.sequence, SlotState.EXECUTED)

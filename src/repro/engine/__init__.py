@@ -12,6 +12,7 @@ from repro.engine.backends import (
     ExecutionBackend,
     RealTimeBackend,
     SimBackend,
+    SocketBackend,
     backend_by_name,
 )
 from repro.engine.deployment import Deployment, RunResult
@@ -34,6 +35,7 @@ __all__ = [
     "RunResult",
     "Scheduler",
     "SimBackend",
+    "SocketBackend",
     "SustainedLoadDriver",
     "TimerCancelHandle",
     "Transport",

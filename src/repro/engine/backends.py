@@ -14,16 +14,22 @@ experiment, benchmark, and example can run on either clock.
   WAN-sized runs finish in wall-clock seconds.  The backend owns a private
   event loop, which keeps construction eager and symmetric with the simulator
   and lets one deployment be driven several times (run, inspect, run again).
+* :class:`SocketBackend` -- asyncio over real TCP sockets; messages leave the
+  process as canonical-codec frames (:mod:`repro.net`) and protocol time is
+  wall-clock time.  One process can host any subset of a deployment's nodes,
+  which is what the multi-process launcher builds on.
 """
 
 from __future__ import annotations
 
 import abc
 import asyncio
-from typing import Callable
+from typing import Callable, Hashable
 
 from repro.engine.protocols import Scheduler, Transport
 from repro.errors import ConfigurationError
+from repro.net.framing import MAX_FRAME_BYTES
+from repro.net.transport import SocketTransport
 from repro.rt.transport import AsyncNetwork, RealTimeScheduler
 from repro.sim.kernel import Simulator
 from repro.sim.network import Network, NetworkConditions
@@ -139,49 +145,21 @@ class SimBackend(ExecutionBackend):
         return self.simulator.run(max_events=max_events)
 
 
-class RealTimeBackend(ExecutionBackend):
-    """Asyncio execution: the same protocol code on a real clock.
+class _EventLoopBackend(ExecutionBackend):
+    """Shared asyncio driving logic: poll a predicate while the loop runs.
 
-    ``time_scale`` compresses every timer delay and ``latency_scale`` every
-    network delay (both default to 0.05, i.e. 20x compression), which keeps
-    demo workloads within a couple of wall-clock seconds while preserving
-    relative timer ordering.  Protocol time (``now``, latencies, timeouts) is
-    always reported *unscaled*, so results are directly comparable with the
-    simulator's.
+    Subclasses own a private event loop (``self._loop``) and a
+    ``time_scale`` converting protocol seconds to wall-clock seconds; this
+    base provides the three ``run_*`` drivers on top of them, so the
+    realtime and socket backends cannot drift apart in deadline or scaling
+    semantics.
     """
-
-    name = "realtime"
 
     #: Wall-clock pause between predicate polls while driving the loop.
     POLL_INTERVAL_S = 0.002
 
-    def __init__(
-        self,
-        *,
-        seed: int = 2022,
-        latency: LatencyModel | None = None,
-        conditions: NetworkConditions | None = None,
-        time_scale: float = 0.05,
-        latency_scale: float | None = None,
-    ) -> None:
-        self._loop = asyncio.new_event_loop()
-        self._closed = False
-        self.time_scale = time_scale
-        self._scheduler = RealTimeScheduler(self._loop, seed=seed, time_scale=time_scale)
-        self._network = AsyncNetwork(
-            self._scheduler,
-            latency=latency or LatencyModel(),
-            conditions=conditions or NetworkConditions(),
-            latency_scale=latency_scale if latency_scale is not None else time_scale,
-        )
-
-    @property
-    def scheduler(self) -> RealTimeScheduler:
-        return self._scheduler
-
-    @property
-    def transport(self) -> AsyncNetwork:
-        return self._network
+    _loop: asyncio.AbstractEventLoop
+    time_scale: float
 
     def run_until(
         self,
@@ -212,9 +190,122 @@ class RealTimeBackend(ExecutionBackend):
             self.run_for(remaining)
         return self.now
 
+
+class RealTimeBackend(_EventLoopBackend):
+    """Asyncio execution: the same protocol code on a real clock.
+
+    ``time_scale`` compresses every timer delay and ``latency_scale`` every
+    network delay (both default to 0.05, i.e. 20x compression), which keeps
+    demo workloads within a couple of wall-clock seconds while preserving
+    relative timer ordering.  Protocol time (``now``, latencies, timeouts) is
+    always reported *unscaled*, so results are directly comparable with the
+    simulator's.
+    """
+
+    name = "realtime"
+
+    def __init__(
+        self,
+        *,
+        seed: int = 2022,
+        latency: LatencyModel | None = None,
+        conditions: NetworkConditions | None = None,
+        time_scale: float = 0.05,
+        latency_scale: float | None = None,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._closed = False
+        self.time_scale = time_scale
+        self._scheduler = RealTimeScheduler(self._loop, seed=seed, time_scale=time_scale)
+        self._network = AsyncNetwork(
+            self._scheduler,
+            latency=latency or LatencyModel(),
+            conditions=conditions or NetworkConditions(),
+            latency_scale=latency_scale if latency_scale is not None else time_scale,
+        )
+
+    @property
+    def scheduler(self) -> RealTimeScheduler:
+        return self._scheduler
+
+    @property
+    def transport(self) -> AsyncNetwork:
+        return self._network
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            self._loop.close()
+
+
+class SocketBackend(_EventLoopBackend):
+    """Real TCP execution: messages cross the network as codec frames.
+
+    The backend owns an event loop, a :class:`RealTimeScheduler` (protocol
+    timers are real timers; ``time_scale`` defaults to 1.0 -- on sockets,
+    protocol time *is* wall-clock time, so throughput and latency numbers
+    are genuine), and a :class:`~repro.net.transport.SocketTransport` bound
+    to ``listen``.  ``address_map`` pins remote replicas to endpoints;
+    addresses missing from it (clients) route to ``default_endpoint``.
+
+    Constructed by name (``--backend socket``) it hosts every node locally
+    with ``wire_loopback`` on, so even a single-process deployment pushes
+    every message through encode -> frame -> TCP -> decode -> MAC-verify via
+    its own listening socket.  The listening socket is bound eagerly during
+    construction (nodes enqueue wire traffic before the loop first runs), so
+    ``listen_endpoint`` is valid immediately.
+    """
+
+    name = "socket"
+
+    def __init__(
+        self,
+        *,
+        listen: tuple[str, int] = ("127.0.0.1", 0),
+        address_map: dict[Hashable, tuple[str, int]] | None = None,
+        default_endpoint: tuple[str, int] | None = None,
+        seed: int = 2022,
+        time_scale: float = 1.0,
+        max_frame: int = MAX_FRAME_BYTES,
+        wire_loopback: bool = True,
+        conditions: NetworkConditions | None = None,
+    ) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._closed = False
+        self.time_scale = time_scale
+        self._scheduler = RealTimeScheduler(self._loop, seed=seed, time_scale=time_scale)
+        self._transport = SocketTransport(
+            self._scheduler,
+            self._loop,
+            listen=listen,
+            address_map=address_map,
+            default_endpoint=default_endpoint,
+            max_frame=max_frame,
+            wire_loopback=wire_loopback,
+            conditions=conditions,
+        )
+        self._loop.run_until_complete(self._transport.start())
+
+    @property
+    def scheduler(self) -> RealTimeScheduler:
+        return self._scheduler
+
+    @property
+    def transport(self) -> SocketTransport:
+        return self._transport
+
+    @property
+    def listen_endpoint(self) -> tuple[str, int]:
+        return self._transport.bound_endpoint
+
+    def run_coroutine(self, coro):
+        """Run an auxiliary coroutine (control calls, teardown) on the loop."""
+        return self._loop.run_until_complete(coro)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._loop.run_until_complete(self._transport.aclose())
             self._loop.close()
 
 
@@ -222,6 +313,23 @@ class RealTimeBackend(ExecutionBackend):
 BACKENDS: dict[str, type[ExecutionBackend]] = {
     SimBackend.name: SimBackend,
     RealTimeBackend.name: RealTimeBackend,
+    SocketBackend.name: SocketBackend,
+}
+
+#: Construction knobs each backend understands when built by name (everything
+#: else a uniform call site passes is silently dropped).
+_BACKEND_KWARGS: dict[str, tuple[str, ...]] = {
+    SimBackend.name: ("seed", "latency", "conditions"),
+    RealTimeBackend.name: ("seed", "latency", "conditions", "time_scale", "latency_scale"),
+    SocketBackend.name: (
+        "seed",
+        "conditions",
+        "listen",
+        "address_map",
+        "default_endpoint",
+        "max_frame",
+        "wire_loopback",
+    ),
 }
 
 
@@ -229,13 +337,13 @@ def backend_by_name(name: str, **kwargs) -> ExecutionBackend:
     """Instantiate a built-in backend from its ``--backend`` name.
 
     Keyword arguments not understood by the selected backend (e.g.
-    ``time_scale`` for the simulator) are silently dropped, so call sites can
-    pass one uniform set of knobs.
+    ``time_scale`` for the simulator, latency models for the socket backend)
+    are silently dropped, so call sites can pass one uniform set of knobs.
     """
     if name not in BACKENDS:
         raise ConfigurationError(
             f"unknown execution backend {name!r}; known: {sorted(BACKENDS)}"
         )
-    if name == SimBackend.name:
-        kwargs = {k: v for k, v in kwargs.items() if k in ("seed", "latency", "conditions")}
+    allowed = _BACKEND_KWARGS[name]
+    kwargs = {k: v for k, v in kwargs.items() if k in allowed}
     return BACKENDS[name](**kwargs)

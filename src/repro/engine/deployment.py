@@ -132,12 +132,21 @@ class Deployment:
         preload_table: bool = True,
         time_scale: float = 0.05,
         latency_scale: float | None = None,
+        local_replicas: "set[ReplicaId] | frozenset[ReplicaId] | None" = None,
     ) -> "Deployment":
         """Build a deployment running ``replica_class`` on every replica.
 
-        ``backend`` is either a backend name (``"sim"`` / ``"realtime"``) or
-        an already-constructed :class:`ExecutionBackend`; ``time_scale`` and
-        ``latency_scale`` only apply to the real-time backend.
+        ``backend`` is either a backend name (``"sim"`` / ``"realtime"`` /
+        ``"socket"``) or an already-constructed :class:`ExecutionBackend`;
+        ``time_scale`` and ``latency_scale`` only apply to the real-time
+        backend.
+
+        ``local_replicas`` restricts which of the configured replicas this
+        process actually instantiates (the multi-process socket launcher
+        gives each OS process one replica and the coordinator none --
+        ``local_replicas=set()``); the directory still describes the full
+        deployment, so routing and quorum arithmetic are unchanged.  With the
+        default ``None`` every replica is hosted in-process.
         """
         if isinstance(backend, str):
             backend = backend_by_name(
@@ -153,8 +162,15 @@ class Deployment:
 
         replicas: dict[ReplicaId, PbftReplica] = {}
         for shard in config.shards:
+            shard_members = [
+                replica_id
+                for replica_id in directory.replicas_of(shard.shard_id)
+                if local_replicas is None or replica_id in local_replicas
+            ]
+            if not shard_members:
+                continue
             partition = table.build_partition(shard.shard_id) if preload_table else None
-            for replica_id in directory.replicas_of(shard.shard_id):
+            for replica_id in shard_members:
                 replicas[replica_id] = replica_class(
                     replica_id,
                     directory,
@@ -229,7 +245,11 @@ class Deployment:
         return self.replicas[ReplicaId(shard=shard, index=index)]
 
     def shard_replicas(self, shard: int) -> list[PbftReplica]:
-        return [self.replicas[r] for r in self.directory.replicas_of(shard)]
+        """The replicas of ``shard`` hosted by *this* process (all of them in
+        a single-process deployment, a subset under the socket launcher)."""
+        return [
+            self.replicas[r] for r in self.directory.replicas_of(shard) if r in self.replicas
+        ]
 
     def primary_of(self, shard: int, view: int = 0) -> PbftReplica:
         return self.replicas[self.directory.primary_of(shard, view)]

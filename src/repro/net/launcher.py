@@ -1,0 +1,604 @@
+"""Multi-process deployment on loopback TCP: one OS process per replica.
+
+This is the harness behind ``ringbft serve`` and ``ringbft deploy-local``:
+
+* :func:`build_address_book` allocates one loopback port per configured
+  replica plus one for the coordinator and records them in an
+  :class:`AddressBook` (written to a JSON file every process reads, so all
+  processes agree on the topology without any discovery protocol);
+* :func:`serve_replica` is the body of one replica process: it rebuilds the
+  *same* :class:`~repro.config.SystemConfig` from the same flags, hosts
+  exactly one replica on a :class:`~repro.engine.backends.SocketBackend`,
+  and answers the coordinator's control plane (``ping`` / ``stats`` /
+  ``shutdown``);
+* :func:`deploy_local` is the coordinator: it spawns the replica processes,
+  waits for every one to answer a ping, drives a cross-shard YCSB workload
+  through socket-attached clients, scrapes each process's metrics over the
+  control plane, and aggregates everything -- throughput, latencies,
+  bytes-on-wire, auth rejections, per-shard commit order -- into one report.
+
+The per-shard commit orders scraped from the replica processes double as a
+cross-process ledger-consistency check (the single-process harness compares
+ledger objects directly; here the evidence crosses the wire like everything
+else).
+"""
+
+from __future__ import annotations
+
+import asyncio as _asyncio
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.common.types import ReplicaId
+from repro.config import SystemConfig, TimerConfig, WorkloadConfig
+from repro.engine.backends import SocketBackend
+from repro.engine.deployment import Deployment, RunResult
+from repro.errors import ConfigurationError, MalformedMessageError, NetworkError
+from repro.net.wire import ControlRequest, control_roundtrip
+
+Endpoint = tuple[str, int]
+
+#: How long the coordinator waits for every replica process to answer a ping.
+READY_TIMEOUT_S = 30.0
+#: Per-control-call timeout (loopback; generous for loaded CI machines).
+CONTROL_CALL_TIMEOUT_S = 10.0
+
+
+# ---------------------------------------------------------------------------
+# shared configuration (all processes must agree, so it derives from flags)
+# ---------------------------------------------------------------------------
+
+
+def build_system_config(
+    *,
+    shards: int,
+    replicas_per_shard: int,
+    num_records: int = 1_000,
+    cross_shard: float = 0.3,
+    checkpoint_interval: int = 100,
+    seed: int = 2022,
+    num_clients: int = 2,
+) -> SystemConfig:
+    """The deployment config, derived purely from launcher flags.
+
+    Both the coordinator and every ``serve`` process call this with the same
+    flag values, so the directory, ring order, table partitioning, and timers
+    are identical in every process without shipping any config object.
+    """
+    workload = WorkloadConfig(
+        num_records=num_records,
+        cross_shard_fraction=cross_shard,
+        batch_size=1,
+        num_clients=num_clients,
+        seed=seed,
+    )
+    timers = TimerConfig(checkpoint_interval=checkpoint_interval)
+    return SystemConfig.uniform(shards, replicas_per_shard, timers=timers, workload=workload)
+
+
+def build_workload(config: SystemConfig, client_ids: list[str], total: int, seed: int):
+    """The deterministic figure-8-style cross-shard YCSB workload of one run.
+
+    Transaction ``i`` is generated for (and carries the id of) the client
+    that :meth:`Deployment.run_workload` will submit it through (round-robin),
+    so the exact same list -- same ids, same keys, same cross-shard mix --
+    can be replayed against any backend for parity checks.
+    """
+    from repro.storage.kvstore import ShardedKeyValueStore
+    from repro.workloads.ycsb import YcsbWorkloadGenerator
+
+    table = ShardedKeyValueStore(config.shard_ids, config.workload.num_records)
+    generator = YcsbWorkloadGenerator(table, config.ring(), config.workload, seed=seed)
+    return [
+        generator.generate(1, client_ids[i % len(client_ids)])[0] for i in range(total)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# address book
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AddressBook:
+    """Loopback endpoints of every process in one launcher deployment."""
+
+    host: str
+    coordinator_port: int
+    replica_ports: dict[str, int]  # "shard:index" -> port
+
+    @staticmethod
+    def _key(replica_id: ReplicaId) -> str:
+        return f"{replica_id.shard}:{replica_id.index}"
+
+    def replica_endpoint(self, replica_id: ReplicaId) -> Endpoint:
+        key = self._key(replica_id)
+        if key not in self.replica_ports:
+            raise ConfigurationError(f"address book has no endpoint for {replica_id}")
+        return (self.host, self.replica_ports[key])
+
+    def coordinator_endpoint(self) -> Endpoint:
+        return (self.host, self.coordinator_port)
+
+    def endpoint_map(self, config: SystemConfig) -> dict[ReplicaId, Endpoint]:
+        """Address map handed to every ``SocketTransport`` of the deployment."""
+        return {
+            ReplicaId(shard=shard.shard_id, index=index): self.replica_endpoint(
+                ReplicaId(shard=shard.shard_id, index=index)
+            )
+            for shard in config.shards
+            for index in range(shard.num_replicas)
+        }
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(
+                {
+                    "host": self.host,
+                    "coordinator_port": self.coordinator_port,
+                    "replica_ports": self.replica_ports,
+                },
+                indent=2,
+            )
+        )
+
+    @classmethod
+    def read(cls, path: str | Path) -> "AddressBook":
+        data = json.loads(Path(path).read_text())
+        return cls(
+            host=data["host"],
+            coordinator_port=data["coordinator_port"],
+            replica_ports=dict(data["replica_ports"]),
+        )
+
+
+def allocate_loopback_port(host: str = "127.0.0.1") -> int:
+    """Bind-and-release an ephemeral port.
+
+    There is a small window between release and the child process re-binding
+    it, but on a loopback CI host ephemeral ports are plentiful and the
+    launcher fails loudly (the child exits, the ping barrier times out) in
+    the unlikely collision case.
+    """
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+def build_address_book(config: SystemConfig, host: str = "127.0.0.1") -> AddressBook:
+    ports = {
+        AddressBook._key(ReplicaId(shard=shard.shard_id, index=index)): allocate_loopback_port(
+            host
+        )
+        for shard in config.shards
+        for index in range(shard.num_replicas)
+    }
+    return AddressBook(
+        host=host, coordinator_port=allocate_loopback_port(host), replica_ports=ports
+    )
+
+
+# ---------------------------------------------------------------------------
+# replica process body (``ringbft serve``)
+# ---------------------------------------------------------------------------
+
+
+def _replica_stats_payload(deployment: Deployment, replica_id: ReplicaId) -> dict:
+    """Everything the coordinator aggregates, as codec-encodable plain data."""
+    replica = deployment.replicas[replica_id]
+    transport = deployment.backend.transport
+    ledger_blocks = [
+        [block.sequence, list(block.txn_ids), block.block_hash().hex()]
+        for block in replica.ledger.blocks()[1:]
+    ]
+    return {
+        "replica": str(replica_id),
+        "shard": replica_id.shard,
+        "index": replica_id.index,
+        "view": replica.view,
+        "executed_txns": replica.executed_txn_count,
+        "committed_batches": replica.committed_batch_count,
+        "auth_verifications": replica.auth_verifications,
+        "auth_rejections": replica.auth_rejections,
+        "auth_tags_created": replica.auth_tags_created,
+        "sent_count": dict(replica.stats.sent_count),
+        "sent_bytes": dict(replica.stats.sent_bytes),
+        "dropped_requests": dict(replica.stats.dropped_requests),
+        "ledger_blocks": ledger_blocks,
+        "transport": transport.stats.snapshot(),
+    }
+
+
+def serve_replica(
+    *,
+    shard: int,
+    index: int,
+    address_book: AddressBook,
+    config: SystemConfig,
+    replica_class=None,
+    batch_size: int = 1,
+    seed: int = 2022,
+    max_runtime: float = 600.0,
+) -> int:
+    """Host one replica over TCP until the coordinator says shutdown.
+
+    Returns a process exit code: 0 after an orderly shutdown, 1 when
+    ``max_runtime`` elapsed without one (an abandoned process must not
+    outlive its deployment).
+    """
+    from repro.core.replica import RingBftReplica
+
+    replica_id = ReplicaId(shard=shard, index=index)
+    backend = SocketBackend(
+        listen=address_book.replica_endpoint(replica_id),
+        address_map=address_book.endpoint_map(config),
+        default_endpoint=address_book.coordinator_endpoint(),
+        seed=seed,
+    )
+    deployment = Deployment.build(
+        config,
+        backend=backend,
+        replica_class=replica_class or RingBftReplica,
+        local_replicas={replica_id},
+        num_clients=0,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    state = {"stop": False}
+
+    def _control(request: ControlRequest) -> dict:
+        if request.op == "ping":
+            return {"replica": str(replica_id)}
+        if request.op == "stats":
+            return _replica_stats_payload(deployment, replica_id)
+        if request.op == "shutdown":
+            state["stop"] = True
+            return {"replica": str(replica_id)}
+        raise ConfigurationError(f"unknown control op {request.op!r}")
+
+    backend.transport.control_handler = _control
+    try:
+        stopped = backend.run_until(lambda: state["stop"], timeout=max_runtime)
+        # Let the in-flight shutdown reply drain before tearing the loop down.
+        backend.run_for(0.1)
+    finally:
+        deployment.close()
+    return 0 if stopped else 1
+
+
+# ---------------------------------------------------------------------------
+# coordinator (``ringbft deploy-local``)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DeployLocalResult:
+    """Outcome of one multi-process deployment run."""
+
+    result: RunResult
+    #: Aggregated wire/auth totals across every process (coordinator included).
+    aggregate: dict
+    #: Raw per-replica stats payloads, as scraped over the control plane.
+    per_replica: list[dict] = field(default_factory=list)
+    #: Per shard: the commit order (txn ids) of the shard's longest ledger.
+    shard_commits: dict[int, list[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.result.all_completed
+            and bool(self.result.ledgers_consistent)
+            and self.aggregate.get("auth_rejections", 0) == 0
+        )
+
+    def report(self) -> dict:
+        """JSON-serialisable report (the CI artifact)."""
+        return {
+            "result": self.result.as_row(),
+            "p50_latency_s": round(self.result.p50_latency, 4),
+            "p99_latency_s": round(self.result.p99_latency, 4),
+            "aggregate": self.aggregate,
+            "shard_commits": {str(s): txns for s, txns in self.shard_commits.items()},
+            "per_replica": self.per_replica,
+            "ok": self.ok,
+        }
+
+
+def _spawn_replica_process(
+    shard: int,
+    index: int,
+    address_file: str,
+    flags: dict,
+    log_dir: Path,
+) -> subprocess.Popen:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve",
+        "--shard",
+        str(shard),
+        "--index",
+        str(index),
+        "--address-file",
+        address_file,
+    ]
+    for name, value in flags.items():
+        command.extend([f"--{name}", str(value)])
+    env = dict(os.environ)
+    src_dir = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    log_path = log_dir / f"replica-{shard}-{index}.log"
+    # The child inherits its own copy of the descriptor; close ours so a
+    # long-lived coordinator process does not accumulate one fd per replica.
+    with open(log_path, "w") as log_file:
+        return subprocess.Popen(command, env=env, stdout=log_file, stderr=subprocess.STDOUT)
+
+
+def _ledger_consistency(per_replica: list[dict]) -> tuple[bool, dict[int, list[str]]]:
+    """Cross-process non-divergence check on the scraped ledger evidence.
+
+    Replicas of one shard must agree on the common prefix of their block-hash
+    chains (laggards may be behind, as in the single-process check).  Returns
+    the verdict and, per shard, the commit order of the longest chain.
+    """
+    by_shard: dict[int, list[list]] = {}
+    for stats in per_replica:
+        by_shard.setdefault(stats["shard"], []).append(stats["ledger_blocks"])
+    consistent = True
+    commits: dict[int, list[str]] = {}
+    for shard, chains in by_shard.items():
+        for a in chains:
+            for b in chains:
+                prefix = min(len(a), len(b))
+                if [blk[2] for blk in a[:prefix]] != [blk[2] for blk in b[:prefix]]:
+                    consistent = False
+        longest = max(chains, key=len, default=[])
+        commits[shard] = [txn for block in longest for txn in block[1]]
+    return consistent, commits
+
+
+def deploy_local(
+    *,
+    shards: int = 2,
+    replicas_per_shard: int = 4,
+    transactions: int = 24,
+    num_clients: int = 2,
+    cross_shard: float = 0.3,
+    num_records: int = 1_000,
+    checkpoint_interval: int = 100,
+    batch_size: int = 1,
+    seed: int = 2022,
+    timeout: float = 120.0,
+    host: str = "127.0.0.1",
+    keep_logs_on_failure: bool = True,
+) -> DeployLocalResult:
+    """Run a full deployment -- one process per replica -- on loopback TCP.
+
+    Blocks until the workload completes (or ``timeout`` expires), then
+    scrapes and aggregates every process's metrics and shuts the fleet down.
+    """
+    config = build_system_config(
+        shards=shards,
+        replicas_per_shard=replicas_per_shard,
+        num_records=num_records,
+        cross_shard=cross_shard,
+        checkpoint_interval=checkpoint_interval,
+        seed=seed,
+        num_clients=num_clients,
+    )
+    book = build_address_book(config, host=host)
+    workdir = Path(tempfile.mkdtemp(prefix="ringbft-deploy-"))
+    address_file = workdir / "addresses.json"
+    book.write(address_file)
+    serve_flags = {
+        "shards": shards,
+        "replicas-per-shard": replicas_per_shard,
+        "num-records": num_records,
+        "cross-shard": cross_shard,
+        "checkpoint-interval": checkpoint_interval,
+        "batch-size": batch_size,
+        "seed": seed,
+        # Replicas never consume num_clients, but every process must rebuild
+        # the byte-identical SystemConfig -- pass every config-shaping flag.
+        "num-clients": num_clients,
+    }
+
+    processes: dict[ReplicaId, subprocess.Popen] = {}
+    backend = SocketBackend(
+        listen=book.coordinator_endpoint(),
+        address_map=book.endpoint_map(config),
+        seed=seed,
+    )
+    deployment = Deployment.build(
+        config,
+        backend=backend,
+        local_replicas=set(),
+        num_clients=num_clients,
+        batch_size=batch_size,
+        seed=seed,
+    )
+    failed = False
+    try:
+        for shard_cfg in config.shards:
+            for index in range(shard_cfg.num_replicas):
+                processes[ReplicaId(shard=shard_cfg.shard_id, index=index)] = (
+                    _spawn_replica_process(
+                        shard_cfg.shard_id, index, str(address_file), serve_flags, workdir
+                    )
+                )
+
+        _await_ready(backend, book, processes)
+
+        workload = build_workload(config, list(deployment.clients), transactions, seed)
+        local_result = deployment.run_workload(
+            workload, timeout=timeout, check_consistency=False
+        )
+
+        per_replica = [
+            _control_call(backend, book.replica_endpoint(rid), "stats") for rid in processes
+        ]
+        consistent, shard_commits = _ledger_consistency(per_replica)
+        aggregate = _aggregate(per_replica, backend)
+        # Mirror DeployLocalResult.ok (the CLI/CI failure gate) so the
+        # replica logs survive in every mode the gate can fail on --
+        # including completed-but-auth-rejecting runs.
+        failed = not (
+            local_result.completed == local_result.submitted
+            and consistent
+            and aggregate["auth_rejections"] == 0
+        )
+        result = RunResult(
+            backend="socket",
+            submitted=local_result.submitted,
+            completed=local_result.completed,
+            duration_s=local_result.duration_s,
+            wall_clock_s=local_result.wall_clock_s,
+            latencies=local_result.latencies,
+            message_counts=aggregate["message_counts"],
+            total_messages=sum(aggregate["message_counts"].values()),
+            ledgers_consistent=consistent,
+            cache_stats=local_result.cache_stats,
+        )
+        return DeployLocalResult(
+            result=result,
+            aggregate=aggregate,
+            per_replica=per_replica,
+            shard_commits=shard_commits,
+        )
+    except BaseException:
+        failed = True
+        raise
+    finally:
+        _shutdown_fleet(backend, book, processes)
+        deployment.close()
+        if failed and keep_logs_on_failure:
+            print(f"[deploy-local] replica logs kept under {workdir}", file=sys.stderr)
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _control_call(
+    backend: SocketBackend, endpoint: Endpoint, op: str, data: dict | None = None
+) -> dict:
+    reply = backend.run_coroutine(
+        control_roundtrip(
+            endpoint[0],
+            endpoint[1],
+            ControlRequest(op=op, data=data or {}),
+            timeout=CONTROL_CALL_TIMEOUT_S,
+        )
+    )
+    if not reply.ok:
+        raise NetworkError(
+            f"control op {op!r} failed on {endpoint[0]}:{endpoint[1]}: {reply.data}"
+        )
+    return reply.data
+
+
+def _await_ready(
+    backend: SocketBackend,
+    book: AddressBook,
+    processes: dict[ReplicaId, subprocess.Popen],
+) -> None:
+    """Ping barrier: every replica process must answer before traffic flows."""
+    deadline = _time.monotonic() + READY_TIMEOUT_S
+    for replica_id, process in processes.items():
+        endpoint = book.replica_endpoint(replica_id)
+        while True:
+            exit_code = process.poll()
+            if exit_code is not None:
+                raise NetworkError(
+                    f"replica process {replica_id} exited with {exit_code} before ready"
+                )
+            try:
+                _control_call(backend, endpoint, "ping")
+                break
+            # asyncio.TimeoutError is a distinct class from the builtin
+            # TimeoutError before 3.11; a replica that accepted the connect
+            # (OS backlog) but is not driving its loop yet times out with it.
+            # A replica dying mid-handshake surfaces as MalformedMessageError.
+            except (
+                ConnectionError,
+                OSError,
+                TimeoutError,
+                _asyncio.TimeoutError,
+                NetworkError,
+                MalformedMessageError,
+            ):
+                if _time.monotonic() >= deadline:
+                    raise NetworkError(
+                        f"replica {replica_id} at {endpoint} never became ready"
+                    ) from None
+                _time.sleep(0.1)
+
+
+def _aggregate(per_replica: list[dict], backend: SocketBackend) -> dict:
+    message_counts: dict[str, int] = {}
+    message_bytes: dict[str, int] = {}
+    totals = {
+        "auth_verifications": 0,
+        "auth_rejections": 0,
+        "auth_tags_created": 0,
+        "executed_txns": 0,
+        "committed_batches": 0,
+    }
+    wire = {"frames_sent": 0, "bytes_sent": 0, "frames_received": 0, "bytes_received": 0}
+    for stats in per_replica:
+        for name, count in stats["sent_count"].items():
+            message_counts[name] = message_counts.get(name, 0) + count
+        for name, nbytes in stats["sent_bytes"].items():
+            message_bytes[name] = message_bytes.get(name, 0) + nbytes
+        for key in totals:
+            totals[key] += stats[key]
+        for key in wire:
+            wire[key] += stats["transport"][key]
+    coordinator = backend.transport.stats.snapshot()
+    for key in wire:
+        wire[key] += coordinator[key]
+    return {
+        "message_counts": message_counts,
+        "message_bytes": message_bytes,
+        "bytes_on_wire": wire["bytes_sent"],
+        "wire": wire,
+        "coordinator_transport": coordinator,
+        "processes": len(per_replica) + 1,
+        **totals,
+    }
+
+
+def _shutdown_fleet(
+    backend: SocketBackend,
+    book: AddressBook,
+    processes: dict[ReplicaId, subprocess.Popen],
+) -> None:
+    for replica_id, process in processes.items():
+        if process.poll() is not None:
+            continue
+        try:
+            _control_call(backend, book.replica_endpoint(replica_id), "shutdown")
+        except Exception:  # noqa: BLE001 - fall through to terminate
+            pass
+    deadline = _time.monotonic() + 10.0
+    for process in processes.values():
+        remaining = max(0.1, deadline - _time.monotonic())
+        try:
+            process.wait(timeout=remaining)
+        except subprocess.TimeoutExpired:
+            process.terminate()
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                process.kill()
+                process.wait()

@@ -9,10 +9,13 @@ provides drop-in replacements backed by a running asyncio event loop, so the
 exact same replica code can be executed in real time -- messages become
 ``call_later`` callbacks with real delays, timers become real timers.
 
-This is the "it actually runs" mode: useful for demos, for sanity-checking
-that protocol timings hold under real scheduling jitter, and as a starting
-point for a genuine networked deployment (replace :class:`AsyncNetwork` with
-sockets).  It is *not* the mode used to regenerate the paper's figures -- the
+This is the "it actually runs on a clock" mode: useful for demos and for
+sanity-checking that protocol timings hold under real scheduling jitter.
+The genuine networked deployment exists too -- :mod:`repro.net` replaces
+:class:`AsyncNetwork` with a real TCP :class:`~repro.net.transport.SocketTransport`
+(reusing :class:`RealTimeScheduler` for timers), and the multi-process
+launcher behind ``ringbft deploy-local`` runs one OS process per replica
+over it.  Neither real-time mode regenerates the paper's figures -- the
 calibrated analytical model and the simulator are far better suited for that.
 """
 

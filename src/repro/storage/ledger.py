@@ -83,10 +83,20 @@ class Ledger:
 
     shard_id: int
     _blocks: list[Block] = field(default_factory=list)
+    #: txn id -> commit sequence, maintained alongside the chain so that
+    #: retransmission replies (and ``contains_txn``) cost one dict lookup
+    #: instead of a linear scan over every block ever committed.
+    _txn_sequence: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self._blocks:
             self._blocks.append(genesis_block(self.shard_id))
+        for block in self._blocks:
+            self._index_block(block)
+
+    def _index_block(self, block: Block) -> None:
+        for txn_id in block.txn_ids:
+            self._txn_sequence[txn_id] = block.sequence
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -146,6 +156,7 @@ class Ledger:
         if block.previous_hash != self.head.block_hash():
             raise LedgerError("block parent hash does not match the chain head")
         self._blocks.append(block)
+        self._index_block(block)
 
     def adopt_blocks(self, blocks: tuple[Block, ...] | list[Block]) -> int:
         """Adopt the missing suffix of a peer's chain (state transfer).
@@ -177,7 +188,15 @@ class Ledger:
         return True
 
     def contains_txn(self, txn_id: str) -> bool:
-        return any(txn_id in block.txn_ids for block in self._blocks)
+        return txn_id in self._txn_sequence
+
+    def sequence_of(self, txn_id: str) -> int:
+        """Commit sequence of ``txn_id``, or 0 when it was never committed here.
+
+        O(1): replicas answer every retransmitted-but-already-executed client
+        request through this lookup, which used to scan the whole chain.
+        """
+        return self._txn_sequence.get(txn_id, 0)
 
     def blocks(self) -> tuple[Block, ...]:
         return tuple(self._blocks)

@@ -61,6 +61,33 @@ class TestAppend:
         assert ledger.contains_txn("present")
         assert not ledger.contains_txn("absent")
 
+    def test_sequence_of_indexes_every_appended_txn(self):
+        ledger = Ledger(shard_id=0)
+        ledger.append_batch(1, "p", [_txn("t1"), _txn("t2")])
+        ledger.append_batch(4, "p", [_txn("t3")])
+        assert ledger.sequence_of("t1") == 1
+        assert ledger.sequence_of("t2") == 1
+        assert ledger.sequence_of("t3") == 4
+        assert ledger.sequence_of("never-committed") == 0
+
+    def test_sequence_of_matches_a_full_scan(self):
+        ledger = Ledger(shard_id=0)
+        for i in range(1, 8):
+            ledger.append_batch(i, "p", [_txn(f"t{i}")])
+        for block in ledger.blocks()[1:]:
+            for txn_id in block.txn_ids:
+                assert ledger.sequence_of(txn_id) == block.sequence
+
+    def test_adopted_blocks_are_indexed(self):
+        source = Ledger(shard_id=0)
+        source.append_batch(1, "p", [_txn("a")])
+        source.append_batch(2, "p", [_txn("b")])
+        target = Ledger(shard_id=0)
+        target.adopt_blocks(source.blocks()[1:])
+        assert target.sequence_of("a") == 1
+        assert target.sequence_of("b") == 2
+        assert target.contains_txn("b")
+
     def test_block_at_bounds(self):
         ledger = Ledger(shard_id=0)
         ledger.append_batch(1, "r0@S0", [_txn("t1")])
