@@ -8,7 +8,7 @@ communication between the replicas of each shard and the committee replicas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.codec import register_wire_type
 
@@ -19,11 +19,20 @@ from repro.common.messages import ClientRequest, Message
 @register_wire_type
 @dataclass(frozen=True)
 class Prepare2PC(Message):
-    """Committee -> involved shards: start local consensus and vote on the batch."""
+    """Committee -> involved shards: start local consensus and vote on the batch.
+
+    ``shard_sequences`` maps each involved shard to this batch's dense index
+    among the cross-shard batches involving that shard, in the committee's
+    commit order.  Involved-shard primaries propose their local vote
+    consensus in this order, which keeps lock-acquisition order consistent
+    across shards -- without it, two shards receiving two prepares in
+    opposite network orders lock in opposite orders and 2PC deadlocks.
+    """
 
     requests: tuple[ClientRequest, ...]
     batch_digest: bytes
     global_sequence: int
+    shard_sequences: dict[int, int] = field(default_factory=dict)
 
     def wire_size(self) -> int:
         return 5408  # carries the full batch, like a PrePrepare
@@ -34,6 +43,11 @@ class Prepare2PC(Message):
             "sender": str(self.sender),
             "digest": self.batch_digest,
             "gseq": self.global_sequence,
+            # MAC-bound so a relay cannot relabel an honest sender's claimed
+            # order; receivers additionally require a weak quorum of senders
+            # agreeing on the index before adopting it (a Byzantine sender
+            # signs whatever it wants).
+            "sseq": self.shard_sequences,
         }
 
 

@@ -17,6 +17,9 @@ class AhlRecord:
 
     #: Committee-side state.
     global_sequence: int | None = None
+    #: Dense per-involved-shard prepare indices (committee commit order),
+    #: computed once when the prepare is first sent.
+    shard_sequences: dict[int, int] | None = None
     prepare_sent: bool = False
     shard_votes: dict[int, set[str]] = field(default_factory=dict)
     committee_votes: set[str] = field(default_factory=set)
@@ -25,6 +28,12 @@ class AhlRecord:
 
     #: Involved-shard-side state.
     prepare_senders: set[str] = field(default_factory=set)
+    #: Claimed dense prepare index -> committee senders claiming it.  The
+    #: index is adopted only once a weak quorum agrees, so a single
+    #: Byzantine committee member cannot pin a bogus index.
+    dest_sequence_claims: dict[int, set[str]] = field(default_factory=dict)
+    #: This shard's quorum-confirmed dense prepare index for the batch.
+    dest_sequence: int | None = None
     local_consensus_started: bool = False
     local_sequence: int | None = None
     locked: bool = False

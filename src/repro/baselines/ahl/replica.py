@@ -46,6 +46,19 @@ class AhlReplica(PbftReplica):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._records: dict[bytes, AhlRecord] = {}
+        #: Committee side: cross-shard prepares sent per destination shard,
+        #: in commit order -- every committee replica derives the identical
+        #: counts from the identical committed log.
+        self._cross_dest_counts: dict[int, int] = {}
+        #: Involved-shard side: prepares ready for local vote consensus,
+        #: keyed by their dense per-shard index, proposed strictly in order.
+        self._ready_cross: dict[int, AhlRecord] = {}
+        self._next_cross_proposal = 1
+        #: Set when this replica adopts state via transfer: its dense-index
+        #: bookkeeping skipped every batch in the adopted window, so it can
+        #: no longer claim indices (committee side) or trust its cursor
+        #: (involved side).  See :meth:`_install_state`.
+        self._cross_order_stale = False
 
     # ------------------------------------------------------------------
     # roles
@@ -83,6 +96,23 @@ class AhlReplica(PbftReplica):
     def ahl_record(self, digest: bytes) -> AhlRecord | None:
         """Accessor used by tests."""
         return self._records.get(digest)
+
+    def _install_state(self, reply) -> None:
+        super()._install_state(reply)
+        # The adopted window bypassed _on_batch_committed, so the dense
+        # prepare-index bookkeeping skipped an unknown number of batches.
+        # Committee side: abstain from claiming indices from now on (the
+        # up-to-date honest majority still reaches the weak quorum that
+        # confirms them).  Involved side: drain whatever is queued and fall
+        # back to arrival-order proposal -- the missed indices belong to
+        # batches that settled while this replica lagged and will never be
+        # retransmitted, so a strict cursor would stall the shard if this
+        # replica were later promoted primary.
+        self._cross_order_stale = True
+        for record in sorted(self._ready_cross.values(), key=lambda r: r.dest_sequence or 0):
+            if self.is_primary and not self.byzantine_silent:
+                self._propose(record.requests)
+        self._ready_cross.clear()
 
     # ------------------------------------------------------------------
     # client request routing
@@ -125,6 +155,17 @@ class AhlReplica(PbftReplica):
             # The committee just globally ordered the batch: start 2PC.
             record.global_sequence = sequence
             record.prepare_sent = True
+            # Assign each involved shard this batch's dense prepare index
+            # (identical on every committee replica: derived from the
+            # committed log order).  Involved primaries propose in this
+            # order, keeping cross-shard lock acquisition deadlock-free.
+            record.shard_sequences = {}
+            if not self._cross_order_stale:
+                for shard in sorted(involved):
+                    if shard == self.shard_id:
+                        continue
+                    self._cross_dest_counts[shard] = self._cross_dest_counts.get(shard, 0) + 1
+                    record.shard_sequences[shard] = self._cross_dest_counts[shard]
             self._send_prepare_2pc(record, sequence)
             if self.shard_id in involved:
                 # The committee shard also owns part of the data: vote as well.
@@ -156,6 +197,7 @@ class AhlReplica(PbftReplica):
             requests=record.requests,
             batch_digest=record.batch_digest,
             global_sequence=global_sequence,
+            shard_sequences=dict(record.shard_sequences or {}),
         )
         audience = [s for s in sorted(record.involved_shards) if s != self.shard_id]
         self._authenticate_cross_shard_broadcast(message, audience)
@@ -171,14 +213,56 @@ class AhlReplica(PbftReplica):
         record = self._record(message.batch_digest, requests=message.requests, involved=involved)
         record.prepare_senders.add(str(message.sender))
         committee_weak = self.directory.quorum(self.committee_shard).weak_quorum
+        claimed = message.shard_sequences.get(self.shard_id)
+        if claimed is not None and record.dest_sequence is None:
+            # Adopt the dense index only once a weak quorum of committee
+            # replicas claims the *same* value: the MAC authenticates each
+            # claim's sender, but a Byzantine sender signs whatever it wants,
+            # so the f+1 agreement is what actually defends the order.
+            claimants = record.dest_sequence_claims.setdefault(claimed, set())
+            claimants.add(str(message.sender))
+            if len(claimants) >= committee_weak:
+                record.dest_sequence = claimed
         if len(record.prepare_senders) < committee_weak:
             return
         if record.local_consensus_started:
             return
+        if record.dest_sequence is None or self._cross_order_stale:
+            if record.dest_sequence is None and record.dest_sequence_claims:
+                # Ordering info exists but no value is quorum-confirmed yet
+                # (a Byzantine claim among the first f+1): wait for further
+                # honest prepares instead of proposing out of order.
+                return
+            # Arrival-order fallback, used when no sender claimed an index
+            # (pre-ordering committee, stripped messages) and by a replica
+            # whose cursor went stale through state transfer -- indices it
+            # missed will never be retransmitted, so strict ordering would
+            # trade the deadlock risk for a certain stall.
+            record.local_consensus_started = True
+            if self.is_primary and not self.byzantine_silent:
+                self._propose(message.requests)
+            return
+        # Queue for local vote consensus strictly in the committee-assigned
+        # per-shard order: every involved shard then locks the same two
+        # batches in the same relative order, which is what makes the
+        # sequence-ordered LockManager deadlock-free across shards.
         record.local_consensus_started = True
-        if self.is_primary and not self.byzantine_silent:
-            # Start the local vote consensus on the forwarded batch.
-            self._propose(message.requests)
+        self._ready_cross[record.dest_sequence] = record
+        self._drain_cross_proposals()
+
+    def _drain_cross_proposals(self) -> None:
+        """Consume contiguous ready prepares; only the primary proposes.
+
+        Every replica advances the cursor identically (backups would
+        otherwise accumulate ``_ready_cross`` entries forever, and a backup
+        promoted by a view change would replay every historical batch from
+        index 1); proposing is the primary's job alone.
+        """
+        while self._next_cross_proposal in self._ready_cross:
+            record = self._ready_cross.pop(self._next_cross_proposal)
+            self._next_cross_proposal += 1
+            if self.is_primary and not self.byzantine_silent:
+                self._propose(record.requests)
 
     # ------------------------------------------------------------------
     # 2PC: vote phase

@@ -22,6 +22,12 @@ Examples::
     # replica, and aggregate the fleet's metrics.
     ringbft deploy-local --shards 2 --replicas-per-shard 4 --transactions 24
 
+    # The same, with every link emulating the wan3 region RTT matrix.
+    ringbft deploy-local --shards 2 --replicas-per-shard 4 --geo wan3
+
+    # One geo workload on all three backends, side by side.
+    ringbft run wan-backends
+
     # (Usually spawned by deploy-local:) host one replica over TCP.
     ringbft serve --shard 0 --index 1 --address-file /tmp/addresses.json
 """
@@ -38,6 +44,7 @@ from repro.baselines.sharper.replica import SharperReplica
 from repro.engine import BACKENDS, Deployment, WorkloadDriver
 from repro.experiments.runner import EXPERIMENTS, format_table, run_experiment
 from repro.metrics.collector import cache_efficiency, format_cache_stats
+from repro.netem import GEO_PROFILES as _GEO_PROFILES
 from repro.workloads.ycsb import YcsbWorkloadGenerator
 
 _PROTOCOLS = {
@@ -77,6 +84,8 @@ def _cmd_plot(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.netem import netem_policy_for, regions_for
+
     workload = WorkloadConfig(
         num_records=1_000,
         cross_shard_fraction=args.cross_shard,
@@ -84,7 +93,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         num_clients=args.clients,
         seed=args.seed,
     )
-    config = SystemConfig.uniform(args.shards, args.replicas, workload=workload)
+    config = SystemConfig.uniform(
+        args.shards, args.replicas, workload=workload, regions=regions_for(args.geo)
+    )
     deployment = Deployment.build(
         config,
         backend=args.backend,
@@ -93,6 +104,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         batch_size=1,
         seed=args.seed,
         time_scale=args.time_scale,
+        netem=netem_policy_for(args.geo),
     )
     try:
         generator = YcsbWorkloadGenerator(
@@ -104,6 +116,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         deployment.close()
     print(f"protocol            : {args.protocol}")
     print(f"backend             : {result.backend}")
+    if args.geo:
+        print(f"geo profile         : {args.geo}")
     print(f"shards x replicas   : {args.shards} x {args.replicas}")
     print(f"completed           : {result.completed}/{result.submitted}")
     print(f"duration            : {result.duration_s:.3f}s (protocol time)")
@@ -189,6 +203,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_interval,
         seed=args.seed,
         num_clients=args.num_clients,
+        geo=args.geo,
     )
     return serve_replica(
         shard=args.shard,
@@ -199,6 +214,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         seed=args.seed,
         max_runtime=args.max_runtime,
+        geo=args.geo,
     )
 
 
@@ -218,11 +234,14 @@ def _cmd_deploy_local(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         seed=args.seed,
         timeout=args.timeout,
+        geo=args.geo,
     )
     result = outcome.result
     aggregate = outcome.aggregate
     print(f"processes           : {aggregate['processes']} "
           f"({args.shards} shards x {args.replicas_per_shard} replicas + coordinator)")
+    geo_line = f"{args.geo} (emulated WAN latency)" if args.geo else "none (plain loopback)"
+    print(f"geo profile         : {geo_line}")
     print(f"completed           : {result.completed}/{result.submitted}")
     print(f"duration            : {result.duration_s:.3f}s (wall-clock == protocol time)")
     print(f"throughput          : {result.throughput_tps:.1f} txn/s")
@@ -276,6 +295,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument("--transactions", type=int, default=20)
     demo_parser.add_argument("--cross-shard", type=float, default=0.3)
     demo_parser.add_argument("--seed", type=int, default=2022)
+    demo_parser.add_argument(
+        "--geo",
+        choices=sorted(_GEO_PROFILES),
+        default=None,
+        help="emulate this WAN geo profile on the chosen backend",
+    )
     demo_parser.add_argument(
         "--time-scale",
         type=float,
@@ -335,6 +360,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--num-clients", type=int, default=2)
     serve_parser.add_argument("--seed", type=int, default=2022)
     serve_parser.add_argument(
+        "--geo",
+        choices=sorted(_GEO_PROFILES),
+        default=None,
+        help="geo profile of the deployment (must match the coordinator's)",
+    )
+    serve_parser.add_argument(
         "--max-runtime",
         type=float,
         default=600.0,
@@ -356,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
     deploy_parser.add_argument("--batch-size", type=int, default=1)
     deploy_parser.add_argument("--seed", type=int, default=2022)
     deploy_parser.add_argument("--timeout", type=float, default=120.0)
+    deploy_parser.add_argument(
+        "--geo",
+        choices=sorted(_GEO_PROFILES),
+        default=None,
+        help="emulate this WAN geo profile across the loopback fleet",
+    )
     deploy_parser.add_argument("--json", help="also write the aggregated report to this file")
     deploy_parser.set_defaults(func=_cmd_deploy_local)
 

@@ -184,6 +184,53 @@ class PrePrepare(Message):
         }
 
 
+# ---------------------------------------------------------------------------
+# Fixed-layout fast paths for the small vote types
+# ---------------------------------------------------------------------------
+#
+# Prepare/Commit/Checkpoint are tiny, fixed-shape, and minted fresh on every
+# consensus round, so their first (and only, thanks to the memo) encode is
+# pure overhead in the generic codec walker.  Each layout below is compiled
+# once at import time and produces bytes *identical* to encode_canonical of
+# the corresponding ``_payload_fields`` dict -- the equivalence is pinned by
+# tests, so MACs/signatures/digests interoperate with generic encoders.
+
+_PREPARE_LAYOUT = codec.compile_fixed_dict(
+    {"type": "Prepare"}, ("sender", "view", "sequence", "digest")
+)
+_COMMIT_LAYOUT = codec.compile_fixed_dict(
+    {"type": "Commit"}, ("sender", "view", "sequence", "digest")
+)
+_CHECKPOINT_LAYOUT = codec.compile_fixed_dict(
+    {"type": "Checkpoint"}, ("sender", "sequence", "digest")
+)
+_COMMIT_VOTE_LAYOUT = codec.compile_fixed_dict(
+    {"type": "Commit"}, ("view", "sequence", "digest")
+)
+
+
+def _packed_payload_bytes(layout, values_of):
+    """Build a ``payload_bytes`` method over a compiled ``layout``.
+
+    One definition of the hit-path protocol for all packed vote types: a
+    broadcast vote is re-encoded once per receiver verification, so a memo
+    hit must stay a bare dict lookup -- no ``str(sender)``/tuple work just to
+    discover the cached bytes.  ``values_of`` extracts the dynamic values in
+    the layout's declared order.
+    """
+
+    def payload_bytes(self) -> bytes:
+        cached = self.__dict__.get("_payload_memo")
+        if cached is not None and not codec.LEGACY.enabled:
+            codec.STATS.payload_hits += 1
+            return cached
+        return codec.memoized_packed_payload(
+            self, layout, self._payload_fields, values_of(self)
+        )
+
+    return payload_bytes
+
+
 @register_wire_type
 @dataclass(frozen=True)
 class Prepare(Message):
@@ -202,6 +249,11 @@ class Prepare(Message):
             "digest": self.batch_digest,
         }
 
+    payload_bytes = _packed_payload_bytes(
+        _PREPARE_LAYOUT,
+        lambda self: (str(self.sender), self.view, self.sequence, self.batch_digest),
+    )
+
 
 def _commit_vote_fields(view: int, sequence: int, batch_digest: bytes) -> dict:
     """The fields replicas sign in a Commit vote (sender excluded on purpose:
@@ -219,7 +271,7 @@ def _memoized_signed_payload(obj, view: int, sequence: int, batch_digest: bytes)
         return codec.legacy_json_bytes(_commit_vote_fields(view, sequence, batch_digest))
     cached = obj.__dict__.get("_signed_payload_memo")
     if cached is None:
-        cached = codec.encode_canonical(_commit_vote_fields(view, sequence, batch_digest))
+        cached = _COMMIT_VOTE_LAYOUT(view, sequence, batch_digest)
         object.__setattr__(obj, "_signed_payload_memo", cached)
     return cached
 
@@ -243,6 +295,11 @@ class Commit(Message):
             "sequence": self.sequence,
             "digest": self.batch_digest,
         }
+
+    payload_bytes = _packed_payload_bytes(
+        _COMMIT_LAYOUT,
+        lambda self: (str(self.sender), self.view, self.sequence, self.batch_digest),
+    )
 
     def signed_payload(self) -> bytes:
         """The byte string replicas sign: excludes the signature itself."""
@@ -373,6 +430,11 @@ class Checkpoint(Message):
             "sequence": self.sequence,
             "digest": self.state_digest,
         }
+
+    payload_bytes = _packed_payload_bytes(
+        _CHECKPOINT_LAYOUT,
+        lambda self: (str(self.sender), self.sequence, self.state_digest),
+    )
 
 
 @register_wire_type

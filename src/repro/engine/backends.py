@@ -30,10 +30,27 @@ from repro.engine.protocols import Scheduler, Transport
 from repro.errors import ConfigurationError
 from repro.net.framing import MAX_FRAME_BYTES
 from repro.net.transport import SocketTransport
+from repro.netem import LatencyModel, LinkEmulator, NetemPolicy, NetworkConditions
 from repro.rt.transport import AsyncNetwork, RealTimeScheduler
 from repro.sim.kernel import Simulator
-from repro.sim.network import Network, NetworkConditions
-from repro.sim.regions import LatencyModel
+from repro.sim.network import Network
+
+
+def _resolve_policy(netem: NetemPolicy | None, latency: LatencyModel | None) -> NetemPolicy:
+    """One link policy from the two ways callers can spell it.
+
+    ``netem`` carries its own :class:`LatencyModel`, so accepting a separate
+    ``latency`` alongside it would silently ignore one of them -- that
+    combination is a configuration error, not a precedence question.
+    """
+    if netem is not None:
+        if latency is not None:
+            raise ConfigurationError(
+                "pass either latency or netem, not both -- a NetemPolicy carries "
+                "its own LatencyModel (NetemPolicy(latency=...))"
+            )
+        return netem
+    return NetemPolicy(latency=latency or LatencyModel())
 
 
 class ExecutionBackend(abc.ABC):
@@ -104,11 +121,15 @@ class SimBackend(ExecutionBackend):
         seed: int = 2022,
         latency: LatencyModel | None = None,
         conditions: NetworkConditions | None = None,
+        netem: NetemPolicy | None = None,
     ) -> None:
         self.simulator = Simulator(seed=seed)
-        self.network = Network(
-            self.simulator, latency=latency, conditions=conditions or NetworkConditions()
+        emulator = LinkEmulator(
+            _resolve_policy(netem, latency),
+            conditions or NetworkConditions(),
+            seed=seed,
         )
+        self.network = Network(self.simulator, emulator=emulator)
 
     @property
     def scheduler(self) -> Simulator:
@@ -210,6 +231,7 @@ class RealTimeBackend(_EventLoopBackend):
         seed: int = 2022,
         latency: LatencyModel | None = None,
         conditions: NetworkConditions | None = None,
+        netem: NetemPolicy | None = None,
         time_scale: float = 0.05,
         latency_scale: float | None = None,
     ) -> None:
@@ -217,10 +239,14 @@ class RealTimeBackend(_EventLoopBackend):
         self._closed = False
         self.time_scale = time_scale
         self._scheduler = RealTimeScheduler(self._loop, seed=seed, time_scale=time_scale)
+        emulator = LinkEmulator(
+            _resolve_policy(netem, latency),
+            conditions or NetworkConditions(),
+            seed=seed,
+        )
         self._network = AsyncNetwork(
             self._scheduler,
-            latency=latency or LatencyModel(),
-            conditions=conditions or NetworkConditions(),
+            emulator=emulator,
             latency_scale=latency_scale if latency_scale is not None else time_scale,
         )
 
@@ -269,11 +295,14 @@ class SocketBackend(_EventLoopBackend):
         max_frame: int = MAX_FRAME_BYTES,
         wire_loopback: bool = True,
         conditions: NetworkConditions | None = None,
+        netem: NetemPolicy | None = None,
     ) -> None:
         self._loop = asyncio.new_event_loop()
         self._closed = False
         self.time_scale = time_scale
         self._scheduler = RealTimeScheduler(self._loop, seed=seed, time_scale=time_scale)
+        # ``netem=None`` keeps the historical plain-loopback behaviour: the
+        # emulator only injects faults; a geo policy adds real WAN delays.
         self._transport = SocketTransport(
             self._scheduler,
             self._loop,
@@ -282,7 +311,7 @@ class SocketBackend(_EventLoopBackend):
             default_endpoint=default_endpoint,
             max_frame=max_frame,
             wire_loopback=wire_loopback,
-            conditions=conditions,
+            emulator=LinkEmulator(netem, conditions, seed=seed),
         )
         self._loop.run_until_complete(self._transport.start())
 
@@ -319,11 +348,19 @@ BACKENDS: dict[str, type[ExecutionBackend]] = {
 #: Construction knobs each backend understands when built by name (everything
 #: else a uniform call site passes is silently dropped).
 _BACKEND_KWARGS: dict[str, tuple[str, ...]] = {
-    SimBackend.name: ("seed", "latency", "conditions"),
-    RealTimeBackend.name: ("seed", "latency", "conditions", "time_scale", "latency_scale"),
+    SimBackend.name: ("seed", "latency", "conditions", "netem"),
+    RealTimeBackend.name: (
+        "seed",
+        "latency",
+        "conditions",
+        "netem",
+        "time_scale",
+        "latency_scale",
+    ),
     SocketBackend.name: (
         "seed",
         "conditions",
+        "netem",
         "listen",
         "address_map",
         "default_endpoint",

@@ -31,7 +31,7 @@ from repro.engine.backends import ExecutionBackend, backend_by_name
 from repro.engine.protocols import Scheduler, Transport
 from repro.errors import ConfigurationError
 from repro.metrics.collector import percentile
-from repro.sim.regions import LatencyModel
+from repro.netem import LatencyModel, NetemPolicy, region_map_for
 from repro.storage.kvstore import ShardedKeyValueStore
 from repro.txn.transaction import Transaction
 
@@ -128,6 +128,7 @@ class Deployment:
         num_clients: int = 1,
         batch_size: int | None = None,
         latency: LatencyModel | None = None,
+        netem: NetemPolicy | None = None,
         seed: int = 2022,
         preload_table: bool = True,
         time_scale: float = 0.05,
@@ -141,6 +142,13 @@ class Deployment:
         ``time_scale`` and ``latency_scale`` only apply to the real-time
         backend.
 
+        ``netem`` is the shared link-emulation policy
+        (:class:`~repro.netem.NetemPolicy`) applied to every backend's
+        transport; the region of *every* configured replica (hosted here or
+        not) is threaded into the transport's
+        :class:`~repro.netem.LinkEmulator`, so a socket process models the
+        WAN delay of links whose far end lives in another OS process.
+
         ``local_replicas`` restricts which of the configured replicas this
         process actually instantiates (the multi-process socket launcher
         gives each OS process one replica and the coordinator none --
@@ -153,10 +161,17 @@ class Deployment:
                 backend,
                 seed=seed,
                 latency=latency,
+                netem=netem,
                 time_scale=time_scale,
                 latency_scale=latency_scale,
             )
         directory = Directory.from_config(config)
+        emulator = getattr(backend.transport, "emulator", None)
+        if emulator is not None:
+            # Every configured replica -- not just the locally-hosted subset
+            # -- so the socket transport knows the region of remote peers it
+            # only ever dials.
+            emulator.assign_regions(region_map_for(directory, config.shards))
         keystore = KeyStore()
         table = ShardedKeyValueStore(config.shard_ids, config.workload.num_records)
 

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Hashable, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.common.messages import Message
-    from repro.sim.network import NetworkConditions
+    from repro.netem.conditions import NetworkConditions
     from repro.sim.node import Node
 
 
@@ -60,9 +60,9 @@ class Scheduler(Protocol):
     @property
     def rng(self) -> random.Random: ...
 
-    def schedule(self, delay: float, callback) -> TimerCancelHandle: ...
+    def schedule(self, delay: float, callback, *args) -> TimerCancelHandle: ...
 
-    def schedule_at(self, time: float, callback) -> TimerCancelHandle: ...
+    def schedule_at(self, time: float, callback, *args) -> TimerCancelHandle: ...
 
 
 @runtime_checkable

@@ -5,7 +5,7 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.errors import ExperimentError
-from repro.experiments import figure1, figure8, figure9, figure10
+from repro.experiments import figure1, figure8, figure9, figure10, wan
 
 #: Registry mapping experiment identifiers to the callables that regenerate them.
 EXPERIMENTS: dict[str, Callable[[], list[dict]]] = {
@@ -18,6 +18,7 @@ EXPERIMENTS: dict[str, Callable[[], list[dict]]] = {
     "figure8-clients": figure8.impact_of_clients,
     "figure9": figure9.run,
     "figure10": figure10.run,
+    "wan-backends": wan.run,
 }
 
 #: Protocol-mode validations, one per figure module: the same scenario executed
@@ -27,6 +28,7 @@ PROTOCOL_VALIDATIONS: dict[str, Callable[..., list[dict]]] = {
     "figure8": figure8.run_protocol,
     "figure9": figure9.run_protocol,
     "figure10": figure10.run_protocol,
+    "wan": wan.run_protocol,
 }
 
 

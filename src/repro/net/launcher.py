@@ -42,6 +42,7 @@ from repro.engine.backends import SocketBackend
 from repro.engine.deployment import Deployment, RunResult
 from repro.errors import ConfigurationError, MalformedMessageError, NetworkError
 from repro.net.wire import ControlRequest, control_roundtrip
+from repro.netem import netem_policy_for, regions_for
 
 Endpoint = tuple[str, int]
 
@@ -65,12 +66,14 @@ def build_system_config(
     checkpoint_interval: int = 100,
     seed: int = 2022,
     num_clients: int = 2,
+    geo: str | None = None,
 ) -> SystemConfig:
     """The deployment config, derived purely from launcher flags.
 
     Both the coordinator and every ``serve`` process call this with the same
-    flag values, so the directory, ring order, table partitioning, and timers
-    are identical in every process without shipping any config object.
+    flag values, so the directory, ring order, table partitioning, timers,
+    and -- under ``geo`` -- the shard-to-region layout are identical in every
+    process without shipping any config object.
     """
     workload = WorkloadConfig(
         num_records=num_records,
@@ -80,7 +83,9 @@ def build_system_config(
         seed=seed,
     )
     timers = TimerConfig(checkpoint_interval=checkpoint_interval)
-    return SystemConfig.uniform(shards, replicas_per_shard, timers=timers, workload=workload)
+    return SystemConfig.uniform(
+        shards, replicas_per_shard, timers=timers, workload=workload, regions=regions_for(geo)
+    )
 
 
 def build_workload(config: SystemConfig, client_ids: list[str], total: int, seed: int):
@@ -229,8 +234,13 @@ def serve_replica(
     batch_size: int = 1,
     seed: int = 2022,
     max_runtime: float = 600.0,
+    geo: str | None = None,
 ) -> int:
     """Host one replica over TCP until the coordinator says shutdown.
+
+    ``geo`` names the deployment's geo profile: the process emulates the WAN
+    delay of every *outbound* link it owns (the far ends do the same in
+    their processes, so each direction is delayed exactly once).
 
     Returns a process exit code: 0 after an orderly shutdown, 1 when
     ``max_runtime`` elapsed without one (an abandoned process must not
@@ -244,6 +254,7 @@ def serve_replica(
         address_map=address_book.endpoint_map(config),
         default_endpoint=address_book.coordinator_endpoint(),
         seed=seed,
+        netem=netem_policy_for(geo),
     )
     deployment = Deployment.build(
         config,
@@ -383,8 +394,14 @@ def deploy_local(
     timeout: float = 120.0,
     host: str = "127.0.0.1",
     keep_logs_on_failure: bool = True,
+    geo: str | None = None,
 ) -> DeployLocalResult:
     """Run a full deployment -- one process per replica -- on loopback TCP.
+
+    ``geo`` selects a :mod:`repro.netem` profile: every process (replicas
+    and the coordinator alike) emulates the region-to-region one-way delay
+    of its outbound links, so the loopback fleet reproduces genuine WAN
+    latency structure.
 
     Blocks until the workload completes (or ``timeout`` expires), then
     scrapes and aggregates every process's metrics and shuts the fleet down.
@@ -397,6 +414,7 @@ def deploy_local(
         checkpoint_interval=checkpoint_interval,
         seed=seed,
         num_clients=num_clients,
+        geo=geo,
     )
     book = build_address_book(config, host=host)
     workdir = Path(tempfile.mkdtemp(prefix="ringbft-deploy-"))
@@ -414,12 +432,15 @@ def deploy_local(
         # the byte-identical SystemConfig -- pass every config-shaping flag.
         "num-clients": num_clients,
     }
+    if geo:
+        serve_flags["geo"] = geo
 
     processes: dict[ReplicaId, subprocess.Popen] = {}
     backend = SocketBackend(
         listen=book.coordinator_endpoint(),
         address_map=book.endpoint_map(config),
         seed=seed,
+        netem=netem_policy_for(geo),
     )
     deployment = Deployment.build(
         config,
@@ -451,6 +472,7 @@ def deploy_local(
         ]
         consistent, shard_commits = _ledger_consistency(per_replica)
         aggregate = _aggregate(per_replica, backend)
+        aggregate["geo"] = geo or "none"
         # Mirror DeployLocalResult.ok (the CLI/CI failure gate) so the
         # replica logs survive in every mode the gate can fail on --
         # including completed-but-auth-rejecting runs.

@@ -20,6 +20,17 @@ over TCP unchanged.  Key properties:
 * **Fail-stop on garbage** -- a malformed frame or envelope poisons only the
   connection that carried it; the transport counts it, drops the connection,
   and keeps serving every other peer.
+* **Link emulation** -- the transport consults the same
+  :class:`~repro.netem.LinkEmulator` as the in-process backends at send time:
+  injected faults suppress the outbound copy, and under a geo policy every
+  frame is held for the emulated one-way WAN delay (scheduled on the
+  protocol scheduler) before it is queued for its peer, so ``--geo`` runs on
+  loopback TCP reproduce real region-to-region latency.
+* **Per-peer write coalescing** -- frames that are ready together leave in
+  one ``write()``/``drain()`` per peer per loop tick instead of one syscall
+  each; under emulated WAN delay whole protocol rounds release in bursts,
+  which this collapses into single writes (``SocketStats.writes`` vs
+  ``frames_sent`` shows the batching factor).
 
 Addresses are the same values the rest of the stack uses
 (:class:`~repro.common.types.ReplicaId` objects, client-id strings).  The
@@ -35,7 +46,7 @@ import traceback
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable
 
-from repro.errors import MalformedMessageError, NetworkError
+from repro.errors import ConfigurationError, MalformedMessageError, NetworkError
 from repro.net.framing import MAX_FRAME_BYTES, FrameDecoder, encode_frame
 from repro.net.wire import (
     ControlReply,
@@ -45,7 +56,8 @@ from repro.net.wire import (
     encode_envelope_control,
     encode_envelope_multi,
 )
-from repro.sim.network import NetworkConditions
+from repro.netem.conditions import NetworkConditions
+from repro.netem.emulator import LinkEmulator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.common.messages import Message
@@ -62,6 +74,13 @@ PEER_QUEUE_FRAMES = 4096
 #: Write attempts per frame before it is dropped (the protocol's timers
 #: retransmit anything that mattered).
 FRAME_WRITE_ATTEMPTS = 2
+#: Write-coalescing bounds: frames already queued for one peer are gathered
+#: into a single ``write()`` up to these limits, so a burst released by an
+#: emulated-WAN delay or a multicast fan-out costs one syscall, not one per
+#: frame.  The byte bound keeps a single gathered write well under typical
+#: kernel socket buffers.
+COALESCE_MAX_FRAMES = 128
+COALESCE_MAX_BYTES = 256 * 1024
 
 
 @dataclass
@@ -72,6 +91,13 @@ class SocketStats:
     frames_received: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
+    #: ``write()``/``drain()`` round trips; ``frames_sent / writes`` is the
+    #: per-peer coalescing factor.
+    writes: int = 0
+    #: Frames that rode an earlier frame's write instead of their own.
+    coalesced_frames: int = 0
+    #: Frames whose enqueue was deferred by an emulated link delay.
+    netem_delayed: int = 0
     #: Messages handed to local nodes (both wire deliveries and the
     #: zero-copy local path).
     delivered: int = 0
@@ -97,6 +123,9 @@ class SocketStats:
             "frames_received": self.frames_received,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
+            "writes": self.writes,
+            "coalesced_frames": self.coalesced_frames,
+            "netem_delayed": self.netem_delayed,
             "delivered": self.delivered,
             "multicasts": self.multicasts,
             "malformed_frames": self.malformed_frames,
@@ -150,20 +179,35 @@ class _PeerLink:
     async def _run(self) -> None:
         while not self._closed:
             frame = await self._queue.get()
+            # Coalesce: everything already queued for this peer rides the
+            # same write (frames are self-delimiting, so concatenation is
+            # exactly what the peer's FrameDecoder expects).
+            frames = [frame]
+            gathered = len(frame)
+            while len(frames) < COALESCE_MAX_FRAMES and gathered < COALESCE_MAX_BYTES:
+                try:
+                    extra = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                frames.append(extra)
+                gathered += len(extra)
+            payload = frame if len(frames) == 1 else b"".join(frames)
             for attempt in range(FRAME_WRITE_ATTEMPTS):
                 writer = await self._connect()
                 if writer is None:  # link closed while backing off
                     return
                 try:
-                    writer.write(frame)
+                    writer.write(payload)
                     await writer.drain()
-                    self._stats.frames_sent += 1
-                    self._stats.bytes_sent += len(frame)
+                    self._stats.frames_sent += len(frames)
+                    self._stats.bytes_sent += gathered
+                    self._stats.writes += 1
+                    self._stats.coalesced_frames += len(frames) - 1
                     break
                 except (ConnectionError, OSError):
                     self._disconnect()
             else:
-                self._stats.dropped_frames += 1
+                self._stats.dropped_frames += len(frames)
 
     async def _connect(self) -> asyncio.StreamWriter | None:
         """Dial the peer, backing off exponentially until it answers."""
@@ -224,6 +268,7 @@ class SocketTransport:
         max_frame: int = MAX_FRAME_BYTES,
         wire_loopback: bool = True,
         conditions: NetworkConditions | None = None,
+        emulator: LinkEmulator | None = None,
     ) -> None:
         self._scheduler = scheduler
         self._loop = loop
@@ -232,16 +277,26 @@ class SocketTransport:
         self._default_endpoint = default_endpoint
         self.max_frame = max_frame
         self.wire_loopback = wire_loopback
-        #: Honoured at send time exactly like the sim network: drops,
-        #: blocked links, and isolated nodes suppress the outbound copy (and
-        #: are counted), so fault studies on ``--backend socket`` inject real
-        #: faults instead of silently doing nothing.
-        self.conditions = conditions or NetworkConditions()
+        #: Consulted at send time exactly like the in-process backends: the
+        #: emulator's fault conditions (drops, blocked links, isolation)
+        #: suppress the outbound copy, emulated loss drops it, and a geo
+        #: policy's one-way delay defers the enqueue -- so fault studies and
+        #: WAN scenarios on ``--backend socket`` behave like the simulator's.
+        #: Without an explicit emulator the transport gets the no-emulation
+        #: engine (faults honoured, zero delay), preserving plain loopback.
+        if emulator is None:
+            emulator = LinkEmulator(None, conditions, seed=getattr(scheduler, "seed", 2022))
+        elif conditions is not None:
+            # Mirror the in-process transports: the emulator owns its
+            # conditions, so a standalone argument must not coexist with it.
+            raise ConfigurationError("pass either an emulator or conditions, not both")
+        self.emulator = emulator
         self.stats = SocketStats()
         self._nodes: dict[Hashable, "Node"] = {}
         self._links: dict[Endpoint, _PeerLink] = {}
         self._server: asyncio.base_events.Server | None = None
         self._bound: Endpoint | None = None
+        self._closing = False
         self._reader_tasks: set[asyncio.Task] = set()
         self._conn_writers: set[asyncio.StreamWriter] = set()
         #: Callback invoked with a :class:`ControlRequest`, returning the
@@ -256,10 +311,15 @@ class SocketTransport:
     def simulator(self) -> "RealTimeScheduler":
         return self._scheduler
 
+    @property
+    def conditions(self) -> NetworkConditions:
+        return self.emulator.conditions
+
     def register(self, node: "Node") -> None:
         if node.address in self._nodes:
             raise NetworkError(f"address {node.address!r} is already registered")
         self._nodes[node.address] = node
+        self.emulator.assign_region(node.address, node.region)
 
     def node(self, address: Hashable) -> "Node":
         if address not in self._nodes:
@@ -271,22 +331,28 @@ class SocketTransport:
             a for a in self._address_map if a not in self._nodes
         )
 
-    def _fault_allows(self, src: Hashable, dst: Hashable) -> bool:
-        """Send-time fault injection, mirroring ``sim.network.Network``."""
-        if self.conditions.allows(src, dst, self._scheduler.rng.random()):
-            return True
-        self.stats.faults_injected += 1
-        return False
+    def _decide(self, src: Hashable, dst: Hashable, size: int) -> tuple[bool, float]:
+        """Send-time link decision, mirroring the in-process backends.
+
+        Suppressed sends (injected faults and emulated loss alike) are
+        tallied in ``faults_injected``; delivered sends carry the emulated
+        one-way delay forward.
+        """
+        deliver, delay = self.emulator.decide(src, dst, size)
+        if not deliver:
+            self.stats.faults_injected += 1
+        return deliver, delay
 
     def send(self, src: Hashable, dst: Hashable, message: "Message") -> None:
-        if not self._fault_allows(src, dst):
+        deliver, delay = self._decide(src, dst, message.wire_size())
+        if not deliver:
             return
         node = self._nodes.get(dst)
         if node is not None and not self.wire_loopback:
-            self._deliver_local(node, message)
+            self._deliver_local(node, message, delay)
             return
-        self._enqueue_frame(
-            dst, encode_frame(encode_envelope(dst, message), max_frame=self.max_frame)
+        self._send_frame(
+            dst, encode_frame(encode_envelope(dst, message), max_frame=self.max_frame), delay
         )
 
     def multicast(self, src: Hashable, dsts, message: "Message") -> None:
@@ -295,30 +361,66 @@ class SocketTransport:
         if not dsts:
             return
         self.stats.multicasts += 1
-        wire_dsts = []
+        size = message.wire_size()
+        wire_dsts: list = []
+        wire_delays: list[float] = []
         for dst in dsts:
-            if not self._fault_allows(src, dst):
+            deliver, delay = self._decide(src, dst, size)
+            if not deliver:
                 continue
             node = self._nodes.get(dst)
             if node is not None and not self.wire_loopback:
-                self._deliver_local(node, message)
+                self._deliver_local(node, message, delay)
             else:
                 wire_dsts.append(dst)
+                wire_delays.append(delay)
         if not wire_dsts:
             return
-        for dst, body in zip(wire_dsts, encode_envelope_multi(wire_dsts, message)):
-            self._enqueue_frame(dst, encode_frame(body, max_frame=self.max_frame))
+        for dst, delay, body in zip(
+            wire_dsts, wire_delays, encode_envelope_multi(wire_dsts, message)
+        ):
+            self._send_frame(dst, encode_frame(body, max_frame=self.max_frame), delay)
 
     # ------------------------------------------------------------------
     # outbound path
     # ------------------------------------------------------------------
 
-    def _deliver_local(self, node: "Node", message: "Message") -> None:
-        def _deliver() -> None:
-            self.stats.delivered += 1
-            node.deliver(message)
+    def _deliver_local(self, node: "Node", message: "Message", delay: float = 0.0) -> None:
+        if delay > 0.0:
+            self._scheduler.schedule(delay, self._deliver_local_now, node, message)
+        else:
+            self._loop.call_soon(self._deliver_local_now, node, message)
 
-        self._loop.call_soon(_deliver)
+    def _deliver_local_now(self, node: "Node", message: "Message") -> None:
+        if self._closing:
+            # Same teardown rule as the wire path: a netem-held local
+            # delivery whose timer fires mid-aclose must not reach a node of
+            # a deployment being dismantled.
+            return
+        self.stats.delivered += 1
+        node.deliver(message)
+
+    def _send_frame(self, dst: Hashable, frame: bytes, delay: float) -> None:
+        """Queue a frame for its peer, after the emulated link delay if any.
+
+        The hold happens send-side on the protocol scheduler (honouring the
+        backend's ``time_scale``), so the bytes hit the TCP socket only when
+        the emulated propagation time has passed -- the receiving process
+        measures genuine one-way WAN latency on its loopback connection.
+
+        The peer link is resolved *before* the hold: an unroutable
+        destination raises :class:`NetworkError` at send time (a
+        misconfigured address book must fail loudly in the caller, not as an
+        unhandled exception inside a timer callback), and a delayed frame
+        firing after :meth:`aclose` hits its already-closed link instead of
+        recreating one.
+        """
+        link = self._link_for(dst)
+        if delay > 0.0:
+            self.stats.netem_delayed += 1
+            self._scheduler.schedule(delay, self._enqueue_on_link, link, frame)
+        else:
+            self._enqueue_on_link(link, frame)
 
     def _endpoint_for(self, dst: Hashable) -> Endpoint:
         endpoint = self._address_map.get(dst)
@@ -335,12 +437,20 @@ class SocketTransport:
             return self._default_endpoint
         raise NetworkError(f"no TCP endpoint known for destination {dst!r}")
 
-    def _enqueue_frame(self, dst: Hashable, frame: bytes) -> None:
+    def _link_for(self, dst: Hashable) -> _PeerLink:
         endpoint = self._endpoint_for(dst)
         link = self._links.get(endpoint)
         if link is None:
             link = _PeerLink(endpoint, self._loop, self.stats)
             self._links[endpoint] = link
+        return link
+
+    def _enqueue_on_link(self, link: _PeerLink, frame: bytes) -> None:
+        if self._closing:
+            # A delayed frame outliving its transport is network semantics
+            # (the deployment is gone); count it like any abandoned frame.
+            self.stats.dropped_frames += 1
+            return
         link.enqueue(frame)
 
     # ------------------------------------------------------------------
@@ -439,6 +549,9 @@ class SocketTransport:
     # ------------------------------------------------------------------
 
     async def aclose(self) -> None:
+        # Flag first: netem-delayed frames whose timers fire while the awaits
+        # below drive the loop must not enqueue onto (or recreate) links.
+        self._closing = True
         if self._server is not None:
             self._server.close()
             try:

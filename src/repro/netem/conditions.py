@@ -1,0 +1,51 @@
+"""Mutable fault state shared by every transport.
+
+``NetworkConditions`` is the *fault-injection* half of the link model:
+message-loss probability, one-directional link blocks (the paper's *no
+communication* / *partial communication* cross-shard attacks), and full node
+isolation (crash).  It is deliberately separate from the steady-state WAN
+emulation in :mod:`repro.netem.policy` -- faults are mutated mid-run by the
+:class:`~repro.faults.injector.FaultInjector`, while the emulation policy is
+fixed for the lifetime of a deployment.
+
+Historically this class lived in :mod:`repro.sim.network`; it moved here when
+the link model was unified across the three execution backends (the socket
+transport honours the same object at send time), and is re-exported from its
+old home for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+NodeAddress = Hashable
+
+
+@dataclass
+class NetworkConditions:
+    """Mutable fault state applied to every message the network carries."""
+
+    drop_probability: float = 0.0
+    blocked_links: set[tuple[NodeAddress, NodeAddress]] = field(default_factory=set)
+    isolated_nodes: set[NodeAddress] = field(default_factory=set)
+
+    def block_link(self, src: NodeAddress, dst: NodeAddress) -> None:
+        self.blocked_links.add((src, dst))
+
+    def unblock_link(self, src: NodeAddress, dst: NodeAddress) -> None:
+        self.blocked_links.discard((src, dst))
+
+    def isolate(self, node: NodeAddress) -> None:
+        self.isolated_nodes.add(node)
+
+    def restore(self, node: NodeAddress) -> None:
+        self.isolated_nodes.discard(node)
+
+    def allows(self, src: NodeAddress, dst: NodeAddress, coin: float) -> bool:
+        """Whether a message from ``src`` to ``dst`` is delivered."""
+        if src in self.isolated_nodes or dst in self.isolated_nodes:
+            return False
+        if (src, dst) in self.blocked_links:
+            return False
+        return coin >= self.drop_probability

@@ -1,0 +1,93 @@
+"""Named geo profiles: which region each shard lives in.
+
+The paper's deployment pins one shard per GCP region across fifteen regions;
+smaller experiments use a prefix of that list.  A :class:`GeoProfile` is just
+that mapping plus a name the CLI can spell (``deploy-local --geo wan5``), so
+every process of a deployment -- coordinator, ``serve`` replicas, and any
+backend built from the same flags -- derives the identical region layout
+without shipping a config object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GCP_REGIONS
+from repro.errors import ConfigurationError
+from repro.netem.regions import rtt_matrix
+
+
+@dataclass(frozen=True)
+class GeoProfile:
+    """An ordered region list; shard ``i`` lives in ``regions[i % len]``."""
+
+    name: str
+    regions: tuple[str, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ConfigurationError(f"geo profile {self.name!r} has no regions")
+
+    def rtt_table(self) -> dict[tuple[str, str], float]:
+        """Pairwise RTT matrix (seconds) over the profile's distinct regions."""
+        return rtt_matrix(tuple(dict.fromkeys(self.regions)))
+
+
+#: Built-in profiles, keyed by their CLI name.
+GEO_PROFILES: dict[str, GeoProfile] = {
+    profile.name: profile
+    for profile in (
+        GeoProfile(
+            "local",
+            ("local",),
+            "every shard in one datacentre (sub-millisecond RTT; no WAN)",
+        ),
+        GeoProfile(
+            "wan3",
+            GCP_REGIONS[:3],
+            "Oregon / Iowa / Montreal -- one continent, tens of ms",
+        ),
+        GeoProfile(
+            "wan5",
+            GCP_REGIONS[:5],
+            "adds Netherlands and Taiwan -- trans-Atlantic + trans-Pacific links",
+        ),
+        GeoProfile(
+            "wan15",
+            GCP_REGIONS,
+            "the paper's full fifteen-region deployment",
+        ),
+    )
+}
+
+
+def profile_by_name(name: str) -> GeoProfile:
+    """Look up a built-in profile; raises with the known names on a typo."""
+    profile = GEO_PROFILES.get(name)
+    if profile is None:
+        raise ConfigurationError(
+            f"unknown geo profile {name!r}; known: {sorted(GEO_PROFILES)}"
+        )
+    return profile
+
+
+def regions_for(geo: str | None) -> tuple[str, ...]:
+    """Region layout for an optional profile name.
+
+    ``None`` keeps the historical default (the full GCP region list baked
+    into ``SystemConfig.uniform``) so existing call sites behave unchanged.
+    """
+    return profile_by_name(geo).regions if geo else GCP_REGIONS
+
+
+def netem_policy_for(geo: str | None):
+    """The link policy an optional ``--geo`` flag implies (None = no emulation).
+
+    The single resolution point shared by ``demo``, ``serve``, and
+    ``deploy-local``: profile-specific policy defaults added here apply to
+    every geo-aware entry point at once.
+    """
+    from repro.netem.policy import NetemPolicy
+
+    return NetemPolicy.for_profile(geo) if geo else None

@@ -9,6 +9,12 @@ provides drop-in replacements backed by a running asyncio event loop, so the
 exact same replica code can be executed in real time -- messages become
 ``call_later`` callbacks with real delays, timers become real timers.
 
+Link behaviour (WAN delay, jitter, loss, faults) comes from the same
+:class:`~repro.netem.LinkEmulator` the simulator uses, so a given seed
+produces the identical per-link delay/loss decisions on both clocks; the
+only real-time addition is ``latency_scale``, which compresses the decided
+delays so WAN-sized runs finish in wall-clock seconds.
+
 This is the "it actually runs on a clock" mode: useful for demos and for
 sanity-checking that protocol timings hold under real scheduling jitter.
 The genuine networked deployment exists too -- :mod:`repro.net` replaces
@@ -26,9 +32,11 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable
 
-from repro.errors import NetworkError, SimulationError
-from repro.sim.network import NetworkConditions
-from repro.sim.regions import LatencyModel
+from repro.errors import ConfigurationError, NetworkError, SimulationError
+from repro.netem.conditions import NetworkConditions
+from repro.netem.emulator import LinkEmulator
+from repro.netem.policy import NetemPolicy
+from repro.netem.regions import LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.common.messages import Message
@@ -69,6 +77,7 @@ class RealTimeScheduler:
                  time_scale: float = 1.0) -> None:
         self._loop = loop or asyncio.get_event_loop()
         self._rng = random.Random(seed)
+        self.seed = seed
         if time_scale <= 0:
             raise SimulationError("time_scale must be positive")
         self._time_scale = time_scale
@@ -88,15 +97,15 @@ class RealTimeScheduler:
     def scheduled_callbacks(self) -> int:
         return self._scheduled
 
-    def schedule(self, delay: float, callback) -> _AsyncTimerHandle:
+    def schedule(self, delay: float, callback, *args) -> _AsyncTimerHandle:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._scheduled += 1
-        handle = self._loop.call_later(delay * self._time_scale, callback)
+        handle = self._loop.call_later(delay * self._time_scale, callback, *args)
         return _AsyncTimerHandle(handle, self.now + delay)
 
-    def schedule_at(self, time: float, callback) -> _AsyncTimerHandle:
-        return self.schedule(max(0.0, time - self.now), callback)
+    def schedule_at(self, time: float, callback, *args) -> _AsyncTimerHandle:
+        return self.schedule(max(0.0, time - self.now), callback, *args)
 
 
 @dataclass
@@ -117,15 +126,26 @@ class AsyncNetwork:
         scheduler: RealTimeScheduler,
         latency: LatencyModel | None = None,
         conditions: NetworkConditions | None = None,
+        emulator: LinkEmulator | None = None,
         *,
         latency_scale: float = 1.0,
     ) -> None:
         self._scheduler = scheduler
-        self._latency = latency or LatencyModel()
+        if emulator is None:
+            emulator = LinkEmulator(
+                NetemPolicy(latency=latency or LatencyModel()),
+                conditions,
+                seed=scheduler.seed,
+            )
+        elif latency is not None or conditions is not None:
+            # Mirror sim.network.Network: an emulator owns its policy and
+            # conditions, so the standalone arguments must not coexist.
+            raise ConfigurationError(
+                "pass either an emulator or latency/conditions, not both"
+            )
+        self._emulator = emulator
         self._latency_scale = latency_scale
-        self.conditions = conditions or NetworkConditions()
         self._nodes: dict[Hashable, "Node"] = {}
-        self._regions: dict[Hashable, str] = {}
         self.stats = _AsyncDeliveryStats()
 
     # The node base class accesses ``network.simulator`` for time and timers.
@@ -134,14 +154,23 @@ class AsyncNetwork:
         return self._scheduler
 
     @property
+    def emulator(self) -> LinkEmulator:
+        return self._emulator
+
+    @property
+    def conditions(self) -> NetworkConditions:
+        return self._emulator.conditions
+
+    @property
     def latency_model(self) -> LatencyModel:
-        return self._latency
+        policy = self._emulator.policy
+        return policy.latency if policy is not None else LatencyModel()
 
     def register(self, node: "Node") -> None:
         if node.address in self._nodes:
             raise NetworkError(f"address {node.address!r} is already registered")
         self._nodes[node.address] = node
-        self._regions[node.address] = node.region
+        self._emulator.assign_region(node.address, node.region)
 
     def node(self, address: Hashable) -> "Node":
         if address not in self._nodes:
@@ -152,36 +181,30 @@ class AsyncNetwork:
         return tuple(self._nodes)
 
     def send(self, src: Hashable, dst: Hashable, message: "Message") -> None:
-        self._send_one(src, dst, message, message.wire_size(), self._regions.get(src, "local"))
+        self._send_one(src, dst, message, message.wire_size())
 
-    def _send_one(
-        self, src: Hashable, dst: Hashable, message: "Message", size: int, src_region: str
-    ) -> None:
+    def _send_one(self, src: Hashable, dst: Hashable, message: "Message", size: int) -> None:
         if dst not in self._nodes:
             raise NetworkError(f"cannot deliver to unknown address {dst!r}")
-        coin = self._scheduler.rng.random()
-        if not self.conditions.allows(src, dst, coin):
+        deliver, delay = self._emulator.decide(src, dst, size)
+        if not deliver:
             self.stats.dropped += 1
             return
-        delay = self._latency.message_delay(src_region, self._regions[dst], size)
-        delay *= self._latency_scale
-        jitter = delay * self._latency.jitter_fraction * self._scheduler.rng.random()
-        receiver = self._nodes[dst]
+        self._scheduler.schedule(
+            delay * self._latency_scale, self._deliver_event, self._nodes[dst], message, size
+        )
 
-        def _deliver() -> None:
-            self.stats.delivered += 1
-            self.stats.bytes_delivered += size
-            receiver.deliver(message)
-
-        self._scheduler.schedule(delay + jitter, _deliver)
+    def _deliver_event(self, receiver: "Node", message: "Message", size: int) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += size
+        receiver.deliver(message)
 
     def multicast(self, src: Hashable, dsts, message: "Message") -> None:
         """Fan-out fast path mirroring ``sim.network.Network.multicast``:
-        wire size and source region resolved once, one shared payload."""
+        wire size resolved once, one shared payload."""
         if not dsts:
             return
         size = message.wire_size()
-        src_region = self._regions.get(src, "local")
         self.stats.multicasts += 1
         for dst in dsts:
-            self._send_one(src, dst, message, size, src_region)
+            self._send_one(src, dst, message, size)

@@ -1,20 +1,26 @@
 """Simulated WAN connecting clients and replicas.
 
-The network delivers protocol messages with region-to-region latency and
-per-message serialisation delay, and exposes the knobs fault injection needs:
-message-loss probability, one-directional link blocks (to create the paper's
-*no communication* and *partial communication* cross-shard attacks), and full
-node isolation (crash).
+The network delivers protocol messages after the one-way delay decided by the
+shared link-emulation subsystem (:mod:`repro.netem`): region-to-region
+propagation, per-message serialisation delay, jitter, steady-state loss, and
+the injected fault conditions (message loss, one-directional link blocks for
+the paper's *no communication* / *partial communication* cross-shard attacks,
+and full node isolation) are all owned by one :class:`~repro.netem.LinkEmulator`
+-- the same engine the real-time and socket transports consume, so a WAN
+scenario expressed once runs identically on every backend.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable
 
-from repro.errors import NetworkError
+from repro.errors import ConfigurationError, NetworkError
+from repro.netem.conditions import NetworkConditions
+from repro.netem.emulator import LinkEmulator
+from repro.netem.policy import NetemPolicy
+from repro.netem.regions import LatencyModel
 from repro.sim.kernel import Simulator
-from repro.sim.regions import LatencyModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.common.messages import Message
@@ -22,34 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 NodeAddress = Hashable
 
-
-@dataclass
-class NetworkConditions:
-    """Mutable fault state applied to every message the network carries."""
-
-    drop_probability: float = 0.0
-    blocked_links: set[tuple[NodeAddress, NodeAddress]] = field(default_factory=set)
-    isolated_nodes: set[NodeAddress] = field(default_factory=set)
-
-    def block_link(self, src: NodeAddress, dst: NodeAddress) -> None:
-        self.blocked_links.add((src, dst))
-
-    def unblock_link(self, src: NodeAddress, dst: NodeAddress) -> None:
-        self.blocked_links.discard((src, dst))
-
-    def isolate(self, node: NodeAddress) -> None:
-        self.isolated_nodes.add(node)
-
-    def restore(self, node: NodeAddress) -> None:
-        self.isolated_nodes.discard(node)
-
-    def allows(self, src: NodeAddress, dst: NodeAddress, coin: float) -> bool:
-        """Whether a message from ``src`` to ``dst`` is delivered."""
-        if src in self.isolated_nodes or dst in self.isolated_nodes:
-            return False
-        if (src, dst) in self.blocked_links:
-            return False
-        return coin >= self.drop_probability
+__all__ = ["Network", "NetworkConditions", "NodeAddress"]
 
 
 @dataclass
@@ -71,12 +50,23 @@ class Network:
         simulator: Simulator,
         latency: LatencyModel | None = None,
         conditions: NetworkConditions | None = None,
+        emulator: LinkEmulator | None = None,
     ) -> None:
         self._sim = simulator
-        self._latency = latency or LatencyModel()
-        self.conditions = conditions or NetworkConditions()
+        if emulator is None:
+            emulator = LinkEmulator(
+                NetemPolicy(latency=latency or LatencyModel()),
+                conditions,
+                seed=simulator.seed,
+            )
+        elif latency is not None or conditions is not None:
+            # An emulator owns its policy and conditions; accepting the
+            # standalone arguments alongside it would silently drop them.
+            raise ConfigurationError(
+                "pass either an emulator or latency/conditions, not both"
+            )
+        self._emulator = emulator
         self._nodes: dict[NodeAddress, "Node"] = {}
-        self._regions: dict[NodeAddress, str] = {}
         self.stats = _DeliveryStats()
 
     @property
@@ -84,15 +74,24 @@ class Network:
         return self._sim
 
     @property
+    def emulator(self) -> LinkEmulator:
+        return self._emulator
+
+    @property
+    def conditions(self) -> NetworkConditions:
+        return self._emulator.conditions
+
+    @property
     def latency_model(self) -> LatencyModel:
-        return self._latency
+        policy = self._emulator.policy
+        return policy.latency if policy is not None else LatencyModel()
 
     def register(self, node: "Node") -> None:
         """Attach a node to the fabric; addresses must be unique."""
         if node.address in self._nodes:
             raise NetworkError(f"address {node.address!r} is already registered")
         self._nodes[node.address] = node
-        self._regions[node.address] = node.region
+        self._emulator.assign_region(node.address, node.region)
 
     def node(self, address: NodeAddress) -> "Node":
         if address not in self._nodes:
@@ -106,34 +105,27 @@ class Network:
         """Deliver ``message`` from ``src`` to ``dst`` after the modelled delay.
 
         Delivery is skipped (silently, as in a real lossy network) when fault
-        conditions block the link or the loss coin comes up.
+        conditions block the link or a loss coin comes up.
         """
-        self._send_one(src, dst, message, message.wire_size(), self._regions.get(src, "local"))
+        self._send_one(src, dst, message, message.wire_size())
 
     def _send_one(
-        self,
-        src: NodeAddress,
-        dst: NodeAddress,
-        message: "Message",
-        size: int,
-        src_region: str,
+        self, src: NodeAddress, dst: NodeAddress, message: "Message", size: int
     ) -> None:
         if dst not in self._nodes:
             raise NetworkError(f"cannot deliver to unknown address {dst!r}")
-        coin = self._sim.rng.random()
-        if not self.conditions.allows(src, dst, coin):
+        deliver, delay = self._emulator.decide(src, dst, size)
+        if not deliver:
             self.stats.dropped += 1
             return
-        delay = self._latency.message_delay(src_region, self._regions[dst], size)
-        jitter = delay * self._latency.jitter_fraction * self._sim.rng.random()
-        receiver = self._nodes[dst]
+        # One shared bound method + argument tuple per delivery (no closure
+        # allocation): the kernel carries the args in the slotted event.
+        self._sim.schedule(delay, self._deliver_event, self._nodes[dst], message, size)
 
-        def _deliver() -> None:
-            self.stats.delivered += 1
-            self.stats.bytes_delivered += size
-            receiver.deliver(message)
-
-        self._sim.schedule(delay + jitter, _deliver)
+    def _deliver_event(self, receiver: "Node", message: "Message", size: int) -> None:
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += size
+        receiver.deliver(message)
 
     def multicast(
         self,
@@ -143,16 +135,15 @@ class Network:
     ) -> None:
         """Fan one copy of ``message`` out to every destination (self excluded upstream).
 
-        Fast path: the wire size and source region are resolved once per
-        message, every destination shares the same payload object, and the
-        fan-out is counted once in the delivery stats.  Per-destination drop
-        coins, latency draws, and delivery events are identical to ``n``
-        individual sends, so fault injection and determinism are unaffected.
+        Fast path: the wire size is resolved once per message, every
+        destination shares the same payload object, and the fan-out is
+        counted once in the delivery stats.  Per-destination link decisions
+        (loss coins, latency draws) are identical to ``n`` individual sends,
+        so fault injection and determinism are unaffected.
         """
         if not dsts:
             return
         size = message.wire_size()
-        src_region = self._regions.get(src, "local")
         self.stats.multicasts += 1
         for dst in dsts:
-            self._send_one(src, dst, message, size, src_region)
+            self._send_one(src, dst, message, size)

@@ -90,6 +90,126 @@ class TestAhl:
         assert cluster.completed_transactions() == 4
         assert cluster.ledgers_consistent(1) and cluster.ledgers_consistent(2)
 
+    def test_conflicting_transactions_do_not_deadlock_across_shards(self):
+        """Two shards receiving prepares in opposite network orders must not
+        lock two conflicting batches in opposite orders (2PC deadlock)."""
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        # Same keys on both shards: every pair of these transactions
+        # conflicts, so any inconsistent lock order deadlocks permanently.
+        for i in range(4):
+            cluster.submit(_cross_txn(cluster, (1, 2), f"ahl-conflict-{i}"))
+        assert cluster.run_until_clients_done(timeout=200.0)
+        assert cluster.completed_transactions() == 4
+        cluster.run(duration=cluster.simulator.now + 5.0)
+        for shard in (1, 2):
+            for replica in cluster.shard_replicas(shard):
+                assert replica.locks.locked_key_count == 0
+
+    def test_involved_primary_proposes_prepares_in_committee_order(self):
+        """The dense per-shard prepare index gates local vote consensus: a
+        later-indexed batch arriving first waits for its predecessor."""
+        from repro.baselines.ahl.messages import Prepare2PC
+
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        primary = cluster.primary_of(1)
+        proposed = []
+        primary._propose = lambda requests: proposed.append(
+            requests[0].transaction.txn_id
+        )
+        committee = list(cluster.directory.replicas_of(0))
+
+        def prepare(txn_id, dest_seq, sender):
+            txn = _cross_txn(cluster, (1, 2), txn_id)
+            request = ClientRequest(sender="client-0", transaction=txn)
+            return Prepare2PC(
+                sender=sender,
+                requests=(request,),
+                batch_digest=batch_digest((request,)),
+                global_sequence=dest_seq,
+                shard_sequences={1: dest_seq, 2: dest_seq},
+            )
+
+        # Batch #2 reaches the committee weak quorum first: nothing proposed.
+        for sender in committee[:2]:
+            primary._handle_prepare_2pc(prepare("ahl-second", 2, sender))
+        assert proposed == []
+        # Batch #1 arrives: both drain, in committee order.
+        for sender in committee[:2]:
+            primary._handle_prepare_2pc(prepare("ahl-first", 1, sender))
+        assert proposed == ["ahl-first", "ahl-second"]
+
+    def test_single_byzantine_claim_cannot_pin_a_bogus_prepare_index(self):
+        """dest_sequence needs a weak quorum of matching claims: one lying
+        committee member neither stalls the batch nor reorders it."""
+        from repro.baselines.ahl.messages import Prepare2PC
+
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        primary = cluster.primary_of(1)
+        proposed = []
+        primary._propose = lambda requests: proposed.append(requests[0].transaction.txn_id)
+        committee = list(cluster.directory.replicas_of(0))
+        txn = _cross_txn(cluster, (1, 2), "ahl-lied-about")
+        request = ClientRequest(sender="client-0", transaction=txn)
+        digest = batch_digest((request,))
+
+        def prepare(sender, claimed):
+            return Prepare2PC(
+                sender=sender,
+                requests=(request,),
+                batch_digest=digest,
+                global_sequence=1,
+                shard_sequences={1: claimed, 2: claimed},
+            )
+
+        # Byzantine claim arrives first with an absurd index, then one honest
+        # prepare: quorum of senders, but no quorum on any index -> wait.
+        primary._handle_prepare_2pc(prepare(committee[0], 10**9))
+        primary._handle_prepare_2pc(prepare(committee[1], 1))
+        assert proposed == []
+        # A second honest claim confirms index 1 and the batch proposes.
+        primary._handle_prepare_2pc(prepare(committee[2], 1))
+        assert proposed == ["ahl-lied-about"]
+        assert primary.ahl_record(digest).dest_sequence == 1
+
+    def test_state_transfer_degrades_ordering_without_stalling(self):
+        """A replica whose cursor went stale through state transfer falls
+        back to arrival-order proposal; a committee replica in the same
+        position abstains from claiming indices."""
+        from repro.baselines.ahl.messages import Prepare2PC
+
+        cluster = build_cluster(num_shards=3, replica_class=AhlReplica)
+        primary = cluster.primary_of(1)
+        proposed = []
+        primary._propose = lambda requests: proposed.append(requests[0].transaction.txn_id)
+        primary._cross_order_stale = True  # as _install_state leaves it
+        committee = list(cluster.directory.replicas_of(0))
+        txn = _cross_txn(cluster, (1, 2), "ahl-after-catchup")
+        request = ClientRequest(sender="client-0", transaction=txn)
+        message = Prepare2PC(
+            sender=committee[0],
+            requests=(request,),
+            batch_digest=batch_digest((request,)),
+            global_sequence=7,
+            # An index far beyond the stale cursor: strict ordering would
+            # park the batch forever.
+            shard_sequences={1: 7, 2: 7},
+        )
+        for sender in committee[:2]:
+            primary._handle_prepare_2pc(
+                Prepare2PC(sender=sender, requests=message.requests,
+                           batch_digest=message.batch_digest,
+                           global_sequence=7, shard_sequences={1: 7, 2: 7})
+            )
+        assert proposed == ["ahl-after-catchup"]
+
+        # Committee side: a stale replica's prepare claims no indices.
+        committee_primary = cluster.primary_of(0)
+        committee_primary._cross_order_stale = True
+        committee_primary._on_batch_committed(0, 1, batch_digest((request,)), (request,))
+        record = committee_primary.ahl_record(batch_digest((request,)))
+        assert record.prepare_sent
+        assert record.shard_sequences == {}
+
 
 class TestSharper:
     def test_cross_shard_transaction_completes(self):

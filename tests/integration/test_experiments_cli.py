@@ -121,6 +121,7 @@ class TestRunnerAndCli:
             "figure8-clients",
             "figure9",
             "figure10",
+            "wan-backends",
         }
 
     def test_unknown_experiment_rejected(self):

@@ -145,8 +145,13 @@ class TestInFlightRotationSafety:
         stuck_sequence = records[0].sequence
 
         # Keep shard 0 busy so checkpoints stabilise *above* the stuck record.
+        # The busy keys start at index 2: the stuck cross-shard record holds
+        # index 1, and a busy transaction colliding with it would pend in the
+        # sequence-ordered lock queue and stall every later sequence --
+        # whether that happens would depend on client-to-primary arrival
+        # order, not on what this test is about.
         for i in range(8):
-            cluster.submit(_single_txn(cluster, 0, i, f"busy-{i}"))
+            cluster.submit(_single_txn(cluster, 0, i + 2, f"busy-{i}"))
         cluster.run(duration=cluster.simulator.now + 30.0)
         for replica in initiator_replicas:
             assert replica.checkpoints.last_stable_sequence > stuck_sequence
