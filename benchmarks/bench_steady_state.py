@@ -32,6 +32,13 @@ from repro.engine import run_sustained_load  # noqa: E402
 #: Gauges that must stay flat once GC runs (each one grew without bound before).
 FLAT_GAUGES = ("log_slots", "batches", "cross_records", "committed_txn_ids")
 
+#: Minimum sustained checkpoint intervals for a reliable flat-gauge verdict.
+#: GC only reaches steady state after ~2 intervals (first stable checkpoint
+#: plus sweep lag), so on shorter runs the warm-up ramp dominates the
+#: first-half/second-half growth comparison and healthy gauges fail
+#: spuriously (the known ``--intervals 6`` flake).
+MIN_VERDICT_INTERVALS = 10
+
 DEFAULTS = dict(
     shards=2,
     replicas=4,
@@ -108,6 +115,14 @@ def _run_variant(*, gc_enabled: bool, backend: str = "sim", **params) -> dict:
 def run_benchmark(backend: str = "sim", **params) -> dict:
     """Run the GC-on / GC-off pair and attach pass/fail verdicts."""
     merged = {**DEFAULTS, **params}
+    if merged["intervals"] < MIN_VERDICT_INTERVALS:
+        raise ValueError(
+            f"--intervals {merged['intervals']} is below the minimum "
+            f"{MIN_VERDICT_INTERVALS} needed for a reliable flat-gauge verdict: "
+            "checkpoint GC only reaches steady state after ~2 intervals, so on "
+            "short runs the warm-up ramp dominates the growth comparison and "
+            "fails spuriously"
+        )
     gc_on = _run_variant(gc_enabled=True, backend=backend, **params)
     gc_off = _run_variant(gc_enabled=False, backend=backend, **params)
 
@@ -171,6 +186,14 @@ def test_steady_state_memory_is_flat():
     assert report["verdicts"]["ok"], json.dumps(report["verdicts"], indent=2)
 
 
+def test_small_interval_count_is_rejected():
+    """Regression: short runs get a clear error, not a flaky verdict."""
+    import pytest
+
+    with pytest.raises(ValueError, match="minimum"):
+        run_benchmark(intervals=6)
+
+
 # ----------------------------------------------------------------------
 # standalone entry point
 # ----------------------------------------------------------------------
@@ -191,16 +214,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", type=Path, default=Path("BENCH_steady_state.json"))
     args = parser.parse_args(argv)
 
-    report = run_benchmark(
-        backend=args.backend,
-        rate=args.rate,
-        intervals=args.intervals,
-        checkpoint_interval=args.checkpoint_interval,
-        shards=args.shards,
-        replicas=args.replicas,
-        cross_shard=args.cross_shard,
-        seed=args.seed,
-    )
+    try:
+        report = run_benchmark(
+            backend=args.backend,
+            rate=args.rate,
+            intervals=args.intervals,
+            checkpoint_interval=args.checkpoint_interval,
+            shards=args.shards,
+            replicas=args.replicas,
+            cross_shard=args.cross_shard,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     gc_on, gc_off = report["gc_on"], report["gc_off"]

@@ -37,13 +37,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.config import SystemConfig, WorkloadConfig
+from repro.config import PipelineConfig, SystemConfig, WorkloadConfig
 from repro.core.replica import RingBftReplica
 from repro.baselines.ahl.replica import AhlReplica
 from repro.baselines.sharper.replica import SharperReplica
 from repro.engine import BACKENDS, Deployment, WorkloadDriver
 from repro.experiments.runner import EXPERIMENTS, format_table, run_experiment
-from repro.metrics.collector import cache_efficiency, format_cache_stats
+from repro.metrics.collector import (
+    cache_efficiency,
+    format_cache_stats,
+    format_pipeline_stats,
+)
 from repro.netem import GEO_PROFILES as _GEO_PROFILES
 from repro.workloads.ycsb import YcsbWorkloadGenerator
 
@@ -61,6 +65,16 @@ def _print_cache_block(result) -> None:
         print("hot-path caches     : " + cache_lines[0])
         for line in cache_lines[1:]:
             print("                      " + line)
+
+
+def _print_pipeline_block(result, depth: int) -> None:
+    """Print one aligned 'pipeline' block for a RunResult."""
+    if not result.pipeline_stats:
+        return
+    lines = format_pipeline_stats(result.pipeline_stats, depth)
+    print("pipeline            : " + lines[0])
+    for line in lines[1:]:
+        print("                      " + line)
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -94,7 +108,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     config = SystemConfig.uniform(
-        args.shards, args.replicas, workload=workload, regions=regions_for(args.geo)
+        args.shards,
+        args.replicas,
+        workload=workload,
+        regions=regions_for(args.geo),
+        pipeline=PipelineConfig(depth=args.pipeline_depth),
     )
     deployment = Deployment.build(
         config,
@@ -126,6 +144,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     print(f"average latency     : {result.avg_latency * 1000:.1f} ms")
     print(f"messages exchanged  : {result.total_messages}")
     print(f"ledgers consistent  : {result.ledgers_consistent}")
+    _print_pipeline_block(result, args.pipeline_depth)
     _print_cache_block(result)
     return 0 if result.all_completed and result.ledgers_consistent else 1
 
@@ -150,7 +169,13 @@ def _cmd_steady(args: argparse.Namespace) -> int:
         num_clients=args.clients,
         seed=args.seed,
     )
-    config = SystemConfig.uniform(args.shards, args.replicas, timers=timers, workload=workload)
+    config = SystemConfig.uniform(
+        args.shards,
+        args.replicas,
+        timers=timers,
+        workload=workload,
+        pipeline=PipelineConfig(depth=args.pipeline_depth),
+    )
     result, driver = run_sustained_load(
         config,
         backend=args.backend,
@@ -171,11 +196,19 @@ def _cmd_steady(args: argparse.Namespace) -> int:
     print(f"throughput          : {result.throughput_tps:.1f} txn/s (protocol time)")
     print(f"ledgers consistent  : {result.ledgers_consistent}")
     print("retained state      :  gauge                peak   final  growth")
-    for gauge in ("log_slots", "batches", "cross_records", "committed_txn_ids", "locked_keys"):
+    for gauge in (
+        "open_slots",
+        "log_slots",
+        "batches",
+        "cross_records",
+        "committed_txn_ids",
+        "locked_keys",
+    ):
         print(
             f"                       {gauge:18s} {series.peak(gauge):6d}"
             f" {series.final(gauge):7d}  x{series.growth_ratio(gauge):.2f}"
         )
+    _print_pipeline_block(result, args.pipeline_depth)
     _print_cache_block(result)
     if args.json:
         payload = {
@@ -307,6 +340,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.02,
         help="realtime backend only: compress every delay by this factor",
     )
+    demo_parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=1,
+        help="proposal-window depth k per primary (1 = classic one-batch-at-a-time)",
+    )
     demo_parser.set_defaults(func=_cmd_demo)
 
     steady_parser = sub.add_parser(
@@ -337,6 +376,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.02,
         help="realtime backend only: compress every delay by this factor",
+    )
+    steady_parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=1,
+        help="proposal-window depth k per primary (1 = classic one-batch-at-a-time)",
     )
     steady_parser.set_defaults(func=_cmd_steady)
 

@@ -36,9 +36,66 @@ class Batcher:
             return group
         return None
 
-    def flush(self) -> list[list[ClientRequest]]:
-        """Close and return every partially filled batch."""
-        batches = [group for group in self._groups.values() if group]
+    def stage(self, request: ClientRequest) -> None:
+        """Queue a request without closing a batch.
+
+        Pipelined primaries stage requests and pull them back out through
+        :meth:`take` with an adaptively chosen size, instead of letting the
+        fixed ``batch_size`` threshold close batches.
+        """
+        key = request.transaction.involved_shards
+        self._groups.setdefault(key, []).append(request)
+
+    def take(self, max_size: int) -> list[ClientRequest] | None:
+        """Pop up to ``max_size`` requests from the oldest pending group.
+
+        Batches stay homogeneous (one involved-shard set per batch), so a
+        single call never mixes groups; ``None`` means nothing is pending.
+        """
+        if max_size < 1:
+            return None
+        for key, group in self._groups.items():
+            if not group:
+                continue
+            if len(group) <= max_size:
+                del self._groups[key]
+                return group
+            batch = group[:max_size]
+            del group[:max_size]
+            return batch
+        return None
+
+    @staticmethod
+    def even_split(count: int, max_size: int) -> list[int]:
+        """Split ``count`` requests into near-equal chunk sizes of at most ``max_size``.
+
+        Balanced ceil-division: 9 requests with ``max_size=4`` become
+        ``3+3+3``, never ``4+4+1`` -- the shared sizing rule that keeps a
+        timer flush from emitting one-request crumbs while the queue is deep.
+        """
+        chunks = -(-count // max_size)
+        base, extra = divmod(count, chunks)
+        return [base + 1] * extra + [base] * (chunks - extra)
+
+    def flush(self, max_size: int | None = None) -> list[list[ClientRequest]]:
+        """Close and return every partially filled batch.
+
+        With ``max_size`` (pipelined primaries) each group is emitted through
+        the same :meth:`even_split` sizing the proposal pump uses, so the
+        trailing flush produces balanced batches instead of whatever remainder
+        the fill threshold left behind.
+        """
+        batches: list[list[ClientRequest]] = []
+        for group in self._groups.values():
+            if not group:
+                continue
+            if max_size is None or len(group) <= max_size:
+                batches.append(group)
+                continue
+            start = 0
+            for size in self.even_split(len(group), max_size):
+                batches.append(group[start : start + size])
+                start += size
         self._groups.clear()
         return batches
 

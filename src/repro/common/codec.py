@@ -256,7 +256,11 @@ def encode_canonical(value: Any) -> bytes:
     return b"".join(out)
 
 
-def compile_fixed_dict(static: dict[str, Any], dynamic_keys: tuple[str, ...]):
+def compile_fixed_dict(
+    static: dict[str, Any],
+    dynamic_keys: tuple[str, ...],
+    raw_keys: tuple[str, ...] = (),
+):
     """Compile a fixed-layout encoder for dicts with a known key set.
 
     The hot vote payloads (Prepare/Commit/Checkpoint) are tiny dicts whose
@@ -274,12 +278,22 @@ def compile_fixed_dict(static: dict[str, Any], dynamic_keys: tuple[str, ...]):
     vote-codec equivalence tests).  Dynamic values of type ``str``/``int``/
     ``bytes`` take the inlined fast path; anything else falls back to the
     generic (still injective) walker.
+
+    Keys listed in ``raw_keys`` are *splice slots*: the value supplied for
+    such a key must already be canonical codec bytes (e.g. a nested
+    envelope's memoised ``payload_bytes()`` or a :func:`list_frame`) and is
+    inserted verbatim.  This is what lets the rich envelopes
+    (ClientRequest/Forward/Transaction) reuse the encoding work of their
+    parts instead of re-walking nested structures; the caller is responsible
+    for splicing only well-formed canonical frames.
     """
     if set(static) & set(dynamic_keys):
         raise MalformedMessageError("static and dynamic keys overlap")
+    if not set(raw_keys) <= set(dynamic_keys):
+        raise MalformedMessageError("raw_keys must be a subset of dynamic_keys")
     ordered = sorted({**static, **{k: None for k in dynamic_keys}})
     consts: list[bytes] = []
-    slots: list[int] = []
+    slots: list[tuple[int, bool]] = []
     pending = bytearray(_DICT + _pack_len(len(ordered)))
     for key in ordered:
         pending += encode_canonical(key)
@@ -288,16 +302,21 @@ def compile_fixed_dict(static: dict[str, Any], dynamic_keys: tuple[str, ...]):
         else:
             consts.append(bytes(pending))
             pending = bytearray()
-            slots.append(dynamic_keys.index(key))
+            slots.append((dynamic_keys.index(key), key in raw_keys))
     consts.append(bytes(pending))
-    slot_pairs = tuple(zip(consts[:-1], slots))
+    slot_triples = tuple(
+        (const, slot, raw) for const, (slot, raw) in zip(consts[:-1], slots)
+    )
     tail = consts[-1]
 
     def encode(*values: Any) -> bytes:
         out: list[bytes] = []
-        for const, slot in slot_pairs:
+        for const, slot, raw in slot_triples:
             out.append(const)
             value = values[slot]
+            if raw:
+                out.append(value)
+                continue
             kind = type(value)
             if kind is bytes:
                 out.append(_BYTES)
@@ -332,6 +351,16 @@ def tuple_frame(encoded_items: tuple[bytes, ...] | list[bytes]) -> bytes:
     ``encode_canonical(tuple(items))``.
     """
     return _TUPLE + _pack_len(len(encoded_items)) + b"".join(encoded_items)
+
+
+def list_frame(encoded_items: tuple[bytes, ...] | list[bytes]) -> bytes:
+    """Assemble the canonical encoding of a list from pre-encoded items.
+
+    List analogue of :func:`tuple_frame`, used by the packed Transaction
+    layout to splice per-operation frames into the ``operations`` list
+    without re-walking each operation dict.
+    """
+    return _LIST + _pack_len(len(encoded_items)) + b"".join(encoded_items)
 
 
 # ---------------------------------------------------------------------------

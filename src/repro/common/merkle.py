@@ -99,3 +99,67 @@ class MerkleTree:
 def merkle_root(leaves: list[bytes] | tuple[bytes, ...]) -> bytes:
     """Convenience helper returning only the root of a leaf list."""
     return MerkleTree(leaves).root
+
+
+class BucketedDigest:
+    """Rolling merkleized digest over a keyed state (checkpoint fast path).
+
+    Keys hash into a fixed set of buckets (CRC32, deterministic across
+    processes so every replica partitions identically); each bucket digests
+    its key-sorted entries, and the state root is the Merkle root over the
+    bucket digests.  Mutations mark only the owning bucket dirty, so a root
+    request re-canonicalizes the touched buckets instead of the whole store.
+
+    The root is a pure function of the entry set: a replica that arrived at a
+    state incrementally and one that bulk-installed it via state transfer
+    compute the same root.
+    """
+
+    def __init__(self, num_buckets: int = 64) -> None:
+        if num_buckets < 1:
+            raise LedgerError("BucketedDigest needs at least one bucket")
+        self._num_buckets = num_buckets
+        self._entries: list[dict[str, bytes]] = [{} for _ in range(num_buckets)]
+        self._digests: list[bytes] = [sha256(b"")] * num_buckets
+        self._dirty: set[int] = set()
+
+    def _bucket_of(self, key: str) -> int:
+        from zlib import crc32
+
+        return crc32(key.encode()) % self._num_buckets
+
+    def update(self, key: str, leaf: bytes) -> None:
+        """Set ``key``'s leaf bytes and mark its bucket for re-digesting."""
+        bucket = self._bucket_of(key)
+        self._entries[bucket][key] = leaf
+        self._dirty.add(bucket)
+
+    def remove(self, key: str) -> None:
+        bucket = self._bucket_of(key)
+        if self._entries[bucket].pop(key, None) is not None:
+            self._dirty.add(bucket)
+
+    def reset(self) -> None:
+        """Forget all entries (state-transfer install starts from scratch)."""
+        for bucket in range(self._num_buckets):
+            self._entries[bucket].clear()
+        self._digests = [sha256(b"")] * self._num_buckets
+        self._dirty.clear()
+
+    def root(self) -> bytes:
+        """Current state root; costs O(entries in dirty buckets) to refresh."""
+        for bucket in self._dirty:
+            entries = self._entries[bucket]
+            self._digests[bucket] = sha256(
+                b"|".join(entries[key] for key in sorted(entries))
+            )
+        self._dirty.clear()
+        return merkle_root(self._digests)
+
+    @property
+    def dirty_buckets(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def entry_count(self) -> int:
+        return sum(len(entries) for entries in self._entries)

@@ -122,6 +122,15 @@ class Message:
 # ---------------------------------------------------------------------------
 
 
+#: Packed layouts for the rich envelopes: the ``txn`` slot splices the
+#: transaction's memoised canonical bytes verbatim (the codec is
+#: compositional), so encoding a fresh ClientRequest costs one layout
+#: assembly instead of re-walking the whole nested transaction dict.
+_CLIENT_REQUEST_LAYOUT = codec.compile_fixed_dict(
+    {"type": "ClientRequest"}, ("sender", "txn"), raw_keys=("txn",)
+)
+
+
 @register_wire_type
 @dataclass(frozen=True)
 class ClientRequest(Message):
@@ -136,6 +145,18 @@ class ClientRequest(Message):
             "sender": str(self.sender),
             "txn": self.transaction.to_wire(),
         }
+
+    def payload_bytes(self) -> bytes:
+        cached = self.__dict__.get("_payload_memo")
+        if cached is not None and not codec.LEGACY.enabled:
+            codec.STATS.payload_hits += 1
+            return cached
+        return codec.memoized_packed_payload(
+            self,
+            _CLIENT_REQUEST_LAYOUT,
+            self._payload_fields,
+            (str(self.sender), self.transaction.payload_bytes()),
+        )
 
 
 @register_wire_type
@@ -334,6 +355,13 @@ class CommitCertificate:
 # ---------------------------------------------------------------------------
 
 
+_FORWARD_LAYOUT = codec.compile_fixed_dict(
+    {"type": "Forward"},
+    ("sender", "digest", "origin_shard", "reads", "txns"),
+    raw_keys=("txns",),
+)
+
+
 @register_wire_type
 @dataclass(frozen=True)
 class Forward(Message):
@@ -363,6 +391,21 @@ class Forward(Message):
             "origin_shard": self.origin_shard,
             "reads": self.read_sets,
         }
+
+    def payload_bytes(self) -> bytes:
+        cached = self.__dict__.get("_payload_memo")
+        if cached is not None and not codec.LEGACY.enabled:
+            codec.STATS.payload_hits += 1
+            return cached
+        txns = codec.list_frame(
+            [codec.encode_canonical(req.transaction.txn_id) for req in self.requests]
+        )
+        return codec.memoized_packed_payload(
+            self,
+            _FORWARD_LAYOUT,
+            self._payload_fields,
+            (str(self.sender), self.batch_digest, self.origin_shard, self.read_sets, txns),
+        )
 
 
 @register_wire_type

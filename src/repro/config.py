@@ -119,6 +119,48 @@ class WorkloadConfig:
 
 
 @dataclass(frozen=True)
+class PipelineConfig:
+    """Proposal pipelining for the intra-shard PBFT primary.
+
+    PBFT allows a primary to run consensus on several sequence numbers
+    concurrently below the high watermark; ``depth`` is the size of that
+    proposal window (k).  ``depth=1`` reproduces the classic one-batch-at-a-
+    time behaviour exactly (same seeds -> same block chains).  With a deeper
+    window the primary sizes batches *adaptively* from the pending-queue
+    depth: light load ships small batches immediately (low latency), heavy
+    load packs batches up to the replica's batch size (amortised MAC/encode
+    cost), and the trailing timer flush uses the same sizing so it cannot
+    emit one-request crumbs while the queue is deep.
+    """
+
+    depth: int = 1
+    #: Smallest batch the adaptive sizing will propose (>= 1).
+    min_batch_size: int = 1
+    #: Largest batch the adaptive sizing will propose; 0 means "use the
+    #: replica's configured batch size".
+    max_batch_size: int = 0
+    #: How long a staged request may wait for its batch to fill before the
+    #: flush timer forces it out (seconds; pipelined primaries only --
+    #: depth=1 keeps the legacy BATCH_FLUSH_DELAY).
+    target_queue_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ConfigurationError("pipeline depth must be at least 1")
+        if self.min_batch_size < 1:
+            raise ConfigurationError("min_batch_size must be at least 1")
+        if self.max_batch_size < 0:
+            raise ConfigurationError("max_batch_size cannot be negative")
+        if self.max_batch_size and self.max_batch_size < self.min_batch_size:
+            raise ConfigurationError(
+                f"max_batch_size {self.max_batch_size} must be >= "
+                f"min_batch_size {self.min_batch_size}"
+            )
+        if self.target_queue_delay <= 0:
+            raise ConfigurationError("target_queue_delay must be positive")
+
+
+@dataclass(frozen=True)
 class SystemConfig:
     """Full description of a sharded deployment."""
 
@@ -126,6 +168,7 @@ class SystemConfig:
     timers: TimerConfig = field(default_factory=TimerConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     ring_order: tuple[int, ...] | None = None
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
 
     def __post_init__(self) -> None:
         if not self.shards:
@@ -147,6 +190,7 @@ class SystemConfig:
         timers: TimerConfig | None = None,
         workload: WorkloadConfig | None = None,
         regions: tuple[str, ...] = GCP_REGIONS,
+        pipeline: PipelineConfig | None = None,
     ) -> "SystemConfig":
         """Build a deployment of ``num_shards`` equal shards, one per region."""
         if num_shards < 1:
@@ -163,6 +207,7 @@ class SystemConfig:
             shards=shards,
             timers=timers or TimerConfig(),
             workload=workload or WorkloadConfig(),
+            pipeline=pipeline or PipelineConfig(),
         )
 
     @property

@@ -38,7 +38,7 @@ from repro.common.messages import (
     batch_digest,
 )
 from repro.common.types import ReplicaId
-from repro.config import TimerConfig
+from repro.config import PipelineConfig, TimerConfig
 from repro.consensus.directory import Directory
 from repro.consensus.pbft.log import ConsensusLog, SlotState
 from repro.sim.network import Network
@@ -94,6 +94,26 @@ class PbftReplica(Node):
         self.next_sequence = 1
         self.log = ConsensusLog()
         self.batcher = Batcher(batch_size or directory.config.workload.batch_size)
+        #: Proposal pipelining (PBFT's multiple-sequences-in-flight window).
+        #: depth=1 reproduces the classic propose-on-fill behaviour exactly.
+        self.pipeline: PipelineConfig = (
+            getattr(directory.config, "pipeline", None) or PipelineConfig()
+        )
+        #: Sequences this replica proposed that have not committed or been
+        #: abandoned yet -- the occupied part of the proposal window.
+        self._open_slots: set[int] = set()
+        self.peak_open_slots = 0
+        #: txn_id -> stage time at this primary, consumed at proposal time to
+        #: derive the per-batch queue delay (time a request waited for its
+        #: batch to open a slot).
+        self._enqueue_times: dict[str, float] = {}
+        self.queue_delay_total = 0.0
+        self.proposed_batch_count = 0
+        #: Requests proposed across all batches (includes forwarded
+        #: cross-shard requests that never queued at this primary).
+        self.proposed_txn_count = 0
+        #: Requests with a recorded queue delay (staged at this primary).
+        self.proposed_request_count = 0
         self.batches: dict[bytes, tuple[ClientRequest, ...]] = {}
         self.last_executed = 0
         self._pending_execution: dict[int, bytes] = {}
@@ -348,15 +368,110 @@ class PbftReplica(Node):
             # Retransmission of a transaction that is already being ordered.
             return
         self._enqueued_txns.add(txn_id)
-        batch = self.batcher.add(request)
-        if batch is not None:
-            self._propose(tuple(batch))
-        elif not self.has_timer("batch-flush"):
-            self.set_timer("batch-flush", BATCH_FLUSH_DELAY, self._flush_batches)
+        self._enqueue_times[txn_id] = self.now
+        if self.pipeline.depth <= 1:
+            # Classic propose-on-fill: one batch in flight per fill/flush.
+            batch = self.batcher.add(request)
+            if batch is not None:
+                self._propose(tuple(batch))
+            elif not self.has_timer("batch-flush"):
+                self.set_timer("batch-flush", BATCH_FLUSH_DELAY, self._flush_batches)
+            return
+        self.batcher.stage(request)
+        self._pump_pipeline(eager=False)
 
     def _flush_batches(self) -> None:
-        for batch in self.batcher.flush():
+        if self.pipeline.depth <= 1:
+            for batch in self.batcher.flush():
+                self._propose(tuple(batch))
+            return
+        # The flush timer forces staged requests out even below
+        # min_batch_size; sizing still goes through the adaptive rule, so a
+        # deep queue is never emitted as one-request crumbs.
+        self._pump_pipeline()
+
+    # ------------------------------------------------------------------
+    # pipelined proposal window (depth > 1)
+    # ------------------------------------------------------------------
+
+    def _max_adaptive_batch(self) -> int:
+        return self.pipeline.max_batch_size or self.batcher.batch_size
+
+    def _adaptive_batch_size(self, pending: int) -> int:
+        """Batch size chosen from the pending-queue depth.
+
+        The queue is split into the *fewest* even chunks that respect
+        ``max_batch``: a shallow queue ships whole (one slot, immediately), a
+        deep one splits into balanced full-size batches that overlap in the
+        window.  Splitting further just to occupy free slots would add
+        consensus rounds without helping latency -- execution is in sequence
+        order regardless.
+        """
+        max_batch = self._max_adaptive_batch()
+        chunks = -(-pending // max_batch)
+        size = -(-pending // chunks)
+        return max(self.pipeline.min_batch_size, min(size, max_batch))
+
+    def _pump_pipeline(self, eager: bool = True) -> None:
+        """Open proposal slots up to the window depth with adaptive batches.
+
+        Group-commit pacing: an *eager* pump (slot closed, flush deadline)
+        ships everything staged; the arrival-time pump (``eager=False``)
+        ships immediately only when the window is idle or a full batch is
+        ready -- while consensus is in flight, the in-flight round itself is
+        the batching clock, so arrivals accumulate instead of fragmenting
+        into per-request proposals.  Requests left staged are covered by the
+        flush timer re-armed below.
+        """
+        while len(self._open_slots) < self.pipeline.depth:
+            pending = self.batcher.pending
+            if pending == 0:
+                break
+            if not eager and pending < self.pipeline.min_batch_size:
+                break
+            if not eager and self._open_slots and pending < self._max_adaptive_batch():
+                break
+            batch = self.batcher.take(self._adaptive_batch_size(pending))
+            if not batch:
+                break
             self._propose(tuple(batch))
+        if self.batcher.pending and not self.has_timer("batch-flush"):
+            self.set_timer(
+                "batch-flush", self.pipeline.target_queue_delay, self._flush_batches
+            )
+
+    def _record_proposed_batch(self, sequence: int, batch: tuple[ClientRequest, ...]) -> None:
+        """Track window occupancy and queue delay for a freshly proposed batch."""
+        self._open_slots.add(sequence)
+        if len(self._open_slots) > self.peak_open_slots:
+            self.peak_open_slots = len(self._open_slots)
+        self.proposed_batch_count += 1
+        self.proposed_txn_count += len(batch)
+        now = self.now
+        for request in batch:
+            staged_at = self._enqueue_times.pop(request.transaction.txn_id, None)
+            if staged_at is not None:
+                self.queue_delay_total += now - staged_at
+                self.proposed_request_count += 1
+
+    def _close_slot(self, sequence: int) -> None:
+        """A slot left the window (committed or abandoned): refill it."""
+        if sequence in self._open_slots:
+            self._open_slots.discard(sequence)
+            if self.pipeline.depth > 1:
+                self._pump_pipeline()
+
+    @property
+    def open_slot_count(self) -> int:
+        """Number of this replica's proposals currently in flight."""
+        return len(self._open_slots)
+
+    @property
+    def avg_queue_delay(self) -> float:
+        """Mean time a request waited at this primary before being proposed."""
+        if not self.proposed_request_count:
+            return 0.0
+        return self.queue_delay_total / self.proposed_request_count
 
     def _local_timeout(self) -> float:
         """Local timeout with exponential backoff over successive views.
@@ -394,6 +509,7 @@ class PbftReplica(Node):
         digest = batch_digest(batch)
         sequence = self.next_sequence
         self.next_sequence += 1
+        self._record_proposed_batch(sequence, batch)
         message = PrePrepare(
             sender=self.replica_id,
             view=self.view,
@@ -525,6 +641,7 @@ class PbftReplica(Node):
             self.cancel_timer(f"request-{request.transaction.txn_id}")
         self._ledger_pending[sequence] = digest
         self._drain_ledger()
+        self._close_slot(sequence)
         self._on_batch_committed(view, sequence, digest, batch)
 
     def _drain_ledger(self) -> None:
@@ -669,7 +786,10 @@ class PbftReplica(Node):
         self.checkpoints.record_batch(sequence, transactions)
         if not self.checkpoints.should_checkpoint(sequence):
             return
-        digest = self.checkpoints.state_digest(self.store.snapshot_digest_input(), sequence)
+        # The rolling root re-digests only buckets touched since the last
+        # checkpoint; the O(n) snapshot_digest_input() canonicalization was
+        # the dominant per-interval cost at paper-scale partitions.
+        digest = self.checkpoints.state_digest(self.store.state_root(), sequence)
         message = Checkpoint(sender=self.replica_id, sequence=sequence, state_digest=digest)
         self._broadcast_shard(message)
 
@@ -713,9 +833,16 @@ class PbftReplica(Node):
         never beyond this replica's own execution and ledger progress (a dark
         replica must keep the evidence it has not applied yet -- it catches up
         via state transfer, after which :meth:`_install_state` re-runs GC).
-        Subclasses lower the floor further for in-flight cross-shard work.
+        Never at or above an open proposal slot: an uncommitted in-flight
+        sequence still needs its consensus evidence (the window makes gaps
+        below ``next_sequence`` normal, so this is stated explicitly rather
+        than relying on open slots trailing ``last_executed``).  Subclasses
+        lower the floor further for in-flight cross-shard work.
         """
-        return min(stable_sequence, self.last_executed, self._ledger_appended)
+        floor = min(stable_sequence, self.last_executed, self._ledger_appended)
+        if self._open_slots:
+            floor = min(floor, min(self._open_slots) - 1)
+        return floor
 
     def _truncate_below(self, watermark: int) -> None:
         releasable = self.log.truncate_below(watermark)
@@ -738,10 +865,13 @@ class PbftReplica(Node):
             for txn_id in self._enqueued_txns
             if not self.executor.already_executed(txn_id)
         }
+        for txn_id in [t for t in self._enqueue_times if t not in self._enqueued_txns]:
+            del self._enqueue_times[txn_id]
 
     def retained_state(self) -> dict[str, int]:
         """Gauges of retained consensus state; flat in steady state once GC runs."""
         return {
+            "open_slots": len(self._open_slots),
             "log_slots": self.log.slot_count,
             "batches": len(self.batches),
             "pending_execution": len(self._pending_execution),
@@ -947,6 +1077,10 @@ class PbftReplica(Node):
         }
         self.view_changes_completed += 1
         self._last_view_install_time = self.now
+        # The old view's proposal window is void: every in-flight sequence is
+        # either re-proposed below (prepared certificate survived) or
+        # abandoned as a no-op, so the window restarts empty in the new view.
+        self._open_slots.clear()
         highest = max(
             [p.sequence for p in message.reproposals]
             + [s for s in message.abandoned]
@@ -977,6 +1111,7 @@ class PbftReplica(Node):
             return
         self.cancel_timer(f"slot-{sequence}")
         self._abandoned_sequences.add(sequence)
+        self._close_slot(sequence)
         self._execute_ready_batches()
         self._drain_ledger()
         for unblocked in self.locks.skip_sequence(sequence):

@@ -30,7 +30,7 @@ from repro.core.replica import RingBftReplica
 from repro.engine.backends import ExecutionBackend, backend_by_name
 from repro.engine.protocols import Scheduler, Transport
 from repro.errors import ConfigurationError
-from repro.metrics.collector import percentile
+from repro.metrics.collector import percentile, summarize_pipeline
 from repro.netem import LatencyModel, NetemPolicy, region_map_for
 from repro.storage.kvstore import ShardedKeyValueStore
 from repro.txn.transaction import Transaction
@@ -59,6 +59,10 @@ class RunResult:
     #: ``verify``/``certificate`` (the keystore's signature memo LRUs) and
     #: ``payload``/``digest`` (the codec's per-object memoisation).
     cache_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Proposal-window occupancy aggregated over this process's replicas:
+    #: peak open slots, batches proposed, average adaptive batch size, and
+    #: the mean time a request queued at its primary before proposal.
+    pipeline_stats: dict[str, float | int] = field(default_factory=dict)
 
     @property
     def all_completed(self) -> bool:
@@ -405,6 +409,7 @@ class Deployment:
             total_messages=sum(counts.values()),
             ledgers_consistent=consistent,
             cache_stats=cache_stats,
+            pipeline_stats=summarize_pipeline(self.replicas.values()),
         )
 
     # ------------------------------------------------------------------

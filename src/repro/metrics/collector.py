@@ -89,6 +89,54 @@ def format_cache_stats(cache_stats: dict[str, dict[str, int]]) -> list[str]:
     return lines
 
 
+# ---------------------------------------------------------------------------
+# pipeline occupancy (proposal-window instrumentation)
+# ---------------------------------------------------------------------------
+
+
+def summarize_pipeline(replicas) -> dict[str, float | int]:
+    """Aggregate per-replica proposal-window gauges into one report.
+
+    ``replicas`` is any iterable of objects exposing the pipeline
+    instrumentation (``peak_open_slots``, ``open_slot_count``,
+    ``proposed_batch_count``, ``proposed_request_count``,
+    ``queue_delay_total``) -- in practice the deployment's
+    :class:`~repro.consensus.pbft.replica.PbftReplica` instances, of which
+    only primaries ever report non-zero counts.
+    """
+    peak = 0
+    open_now = 0
+    batches = 0
+    txns = 0
+    delayed = 0
+    delay_total = 0.0
+    for replica in replicas:
+        peak = max(peak, getattr(replica, "peak_open_slots", 0))
+        open_now += getattr(replica, "open_slot_count", 0)
+        batches += getattr(replica, "proposed_batch_count", 0)
+        txns += getattr(replica, "proposed_txn_count", 0)
+        delayed += getattr(replica, "proposed_request_count", 0)
+        delay_total += getattr(replica, "queue_delay_total", 0.0)
+    return {
+        "peak_open_slots": peak,
+        "open_slots_now": open_now,
+        "proposed_batches": batches,
+        "avg_batch_size": round(txns / batches, 2) if batches else 0.0,
+        "avg_queue_delay_s": round(delay_total / delayed, 6) if delayed else 0.0,
+    }
+
+
+def format_pipeline_stats(stats: dict[str, float | int], depth: int) -> list[str]:
+    """Human-readable pipeline-occupancy summary used by the CLI."""
+    return [
+        f"window depth {depth}: peak {stats.get('peak_open_slots', 0)} open slots,"
+        f" {stats.get('proposed_batches', 0)} batches proposed"
+        f" (avg size {stats.get('avg_batch_size', 0.0)})",
+        f"avg queue delay {1e3 * stats.get('avg_queue_delay_s', 0.0):.1f} ms"
+        " per request before proposal",
+    ]
+
+
 def summarize(records: list[CompletedTransaction], duration: float | None = None) -> MetricsSummary:
     """Summarise completion records into throughput and latency statistics.
 
@@ -132,6 +180,12 @@ class RetainedStateSample:
         return row
 
 
+#: Minimum sample count for a meaningful half-split flatness verdict: below
+#: this, the GC warm-up ramp occupies most of the first half and healthy
+#: gauges read as growing (the ``bench_steady_state --intervals 6`` flake).
+MIN_FLAT_SAMPLES = 12
+
+
 @dataclass
 class RetainedStateSeries:
     """Periodic samples of retained-state gauges over one sustained run."""
@@ -168,8 +222,25 @@ class RetainedStateSeries:
         second = max(values[half:])
         return second / max(first, 1)
 
-    def is_flat(self, gauge: str, tolerance: float = 1.5) -> bool:
-        """Whether ``gauge`` plateaued (its growth ratio stays within ``tolerance``)."""
+    def is_flat(self, gauge: str, tolerance: float = 1.5, *, min_samples: int = 0) -> bool:
+        """Whether ``gauge`` plateaued (its growth ratio stays within ``tolerance``).
+
+        The half-split comparison behind :meth:`growth_ratio` is only
+        meaningful when the warm-up ramp (GC reaches steady state after
+        roughly two checkpoint intervals) is a small fraction of the series;
+        on short runs the first-half peak is mid-ramp and a perfectly healthy
+        gauge reads as growing.  Callers that gate a verdict on this method
+        should pass ``min_samples`` (:data:`MIN_FLAT_SAMPLES` is a good
+        default); a series with fewer samples raises instead of returning an
+        unreliable verdict.
+        """
+        values = self.values(gauge)
+        if len(values) < min_samples:
+            raise ValueError(
+                f"flat-gauge verdict for {gauge!r} over {len(values)} samples is "
+                f"unreliable (need >= {min_samples}): the warm-up ramp dominates "
+                "the first-half peak on short series"
+            )
         return self.growth_ratio(gauge) <= tolerance
 
     def as_rows(self) -> list[dict]:

@@ -140,10 +140,36 @@ class Network:
         counted once in the delivery stats.  Per-destination link decisions
         (loss coins, latency draws) are identical to ``n`` individual sends,
         so fault injection and determinism are unaffected.
+
+        Copies whose links drew the *same* delay (the common case: an
+        intra-shard broadcast over symmetric links with no jitter) are
+        scheduled as **one calendar entry** that delivers to every receiver
+        in destination order.  Separate same-delay events used to carry
+        consecutive tie-breakers and therefore already ran back-to-back in
+        destination order, so the grouped entry executes the identical
+        global callback sequence with ``n - 1`` fewer heap operations.
         """
         if not dsts:
             return
         size = message.wire_size()
         self.stats.multicasts += 1
+        buckets: dict[float, list["Node"]] = {}
         for dst in dsts:
-            self._send_one(src, dst, message, size)
+            if dst not in self._nodes:
+                raise NetworkError(f"cannot deliver to unknown address {dst!r}")
+            deliver, delay = self._emulator.decide(src, dst, size)
+            if not deliver:
+                self.stats.dropped += 1
+                continue
+            buckets.setdefault(delay, []).append(self._nodes[dst])
+        for delay, receivers in buckets.items():
+            if len(receivers) == 1:
+                self._sim.schedule(delay, self._deliver_event, receivers[0], message, size)
+            else:
+                self._sim.schedule(delay, self._deliver_group, receivers, message, size)
+
+    def _deliver_group(self, receivers: list["Node"], message: "Message", size: int) -> None:
+        for receiver in receivers:
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += size
+            receiver.deliver(message)

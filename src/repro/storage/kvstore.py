@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.merkle import BucketedDigest
 from repro.errors import StorageError
 
 
@@ -28,12 +29,19 @@ class KeyValueStore:
     shard_id: int
     _data: dict[str, str] = field(default_factory=dict)
     _version: dict[str, int] = field(default_factory=dict)
+    _rolling: BucketedDigest = field(default_factory=BucketedDigest, repr=False)
+
+    def _track(self, key: str) -> None:
+        self._rolling.update(
+            key, f"{key}={self._data[key]}#{self._version.get(key, 0)}".encode()
+        )
 
     def load(self, records: dict[str, str]) -> None:
         """Bulk-load the initial table contents (identical on every replica)."""
         self._data.update(records)
         for key in records:
             self._version.setdefault(key, 0)
+            self._track(key)
 
     def replace(self, records: dict[str, str]) -> None:
         """Replace the whole partition with ``records`` (state transfer install).
@@ -43,6 +51,9 @@ class KeyValueStore:
         """
         self._data = dict(records)
         self._version = {key: 0 for key in records}
+        self._rolling.reset()
+        for key in records:
+            self._track(key)
 
     def __contains__(self, key: str) -> bool:
         return key in self._data
@@ -61,15 +72,34 @@ class KeyValueStore:
             self._version[key] = 0
         self._data[key] = value
         self._version[key] = self._version.get(key, 0) + 1
+        self._track(key)
 
     def version(self, key: str) -> int:
         """Number of committed writes applied to ``key`` (0 for never-written)."""
         return self._version.get(key, 0)
 
     def snapshot_digest_input(self) -> bytes:
-        """Stable byte representation of the full state, used for checkpoints."""
+        """Stable byte representation of the full state (O(n) re-canonicalization).
+
+        Kept for tools and tests; the checkpoint hot path uses
+        :meth:`state_root` instead.
+        """
         parts = [f"{k}={v}#{self._version.get(k, 0)}" for k, v in sorted(self._data.items())]
         return "|".join(parts).encode()
+
+    def state_root(self) -> bytes:
+        """Rolling merkleized digest of the full state.
+
+        Incrementally maintained by :meth:`write`/:meth:`load`/:meth:`replace`;
+        a root request re-digests only the buckets touched since the last call,
+        so periodic checkpoints stop re-canonicalizing the whole partition.
+        """
+        return self._rolling.root()
+
+    @property
+    def dirty_digest_buckets(self) -> int:
+        """Buckets awaiting re-digest (instrumentation for benchmarks)."""
+        return self._rolling.dirty_buckets
 
     def items(self) -> dict[str, str]:
         return dict(self._data)

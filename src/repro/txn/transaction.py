@@ -53,6 +53,28 @@ class Operation:
             "deps": list(list(d) for d in self.depends_on),
         }
 
+    def packed_bytes(self) -> bytes:
+        """Canonical bytes of :meth:`to_wire` via the compiled fixed layout."""
+        deps = (
+            _EMPTY_DEPS
+            if not self.depends_on
+            else codec.encode_canonical([list(d) for d in self.depends_on])
+        )
+        return _OP_LAYOUT(deps, self.key, self.op_type.value, self.shard, self.value)
+
+
+# Fixed layouts for the envelope hot path (see compile_fixed_dict): keys are
+# emitted in canonical (sorted) order, and the encoders accept dynamic values
+# in the declared order below.  ``deps``/``operations`` are splice slots fed
+# pre-encoded canonical frames.
+_OP_LAYOUT = codec.compile_fixed_dict(
+    {}, ("deps", "key", "op", "shard", "value"), raw_keys=("deps",)
+)
+_EMPTY_DEPS = codec.encode_canonical([])
+_TXN_LAYOUT = codec.compile_fixed_dict(
+    {}, ("client_id", "operations", "txn_id"), raw_keys=("operations",)
+)
+
 
 @register_wire_type
 @dataclass(frozen=True)
@@ -132,8 +154,27 @@ class Transaction:
         }
 
     def payload_bytes(self) -> bytes:
-        """Canonical bytes of the envelope, encoded at most once per object."""
-        return codec.memoized_payload(self, self.to_wire)
+        """Canonical bytes of the envelope, encoded at most once per object.
+
+        The first encode goes through the compiled fixed layouts
+        (``_TXN_LAYOUT``/``_OP_LAYOUT``) instead of the generic codec walker;
+        the bytes are identical by construction (pinned by the packed-codec
+        equivalence tests), so digests and signatures interoperate.
+        """
+        if codec.LEGACY.enabled:
+            return codec.legacy_json_bytes(self.to_wire())
+        cached = self.__dict__.get("_payload_memo")
+        if cached is None:
+            cached = _TXN_LAYOUT(
+                self.client_id,
+                codec.list_frame([op.packed_bytes() for op in self.operations]),
+                self.txn_id,
+            )
+            object.__setattr__(self, "_payload_memo", cached)
+            codec.STATS.payload_misses += 1
+        else:
+            codec.STATS.payload_hits += 1
+        return cached
 
     def digest(self) -> bytes:
         """Collision-resistant digest of the envelope, hashed at most once."""

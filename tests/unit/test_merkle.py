@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.crypto import sha256
-from repro.common.merkle import MerkleTree, merkle_root
+from repro.common.merkle import BucketedDigest, MerkleTree, merkle_root
 from repro.errors import LedgerError
 
 
@@ -70,3 +70,75 @@ class TestMerkleProofs:
         leaves = [f"{i}".encode() for i in range(16)]
         tree = MerkleTree(leaves)
         assert len(tree.proof(0).path) == 4
+
+
+class TestBucketedDigest:
+    def test_root_is_pure_function_of_entry_set(self):
+        # Incremental arrival and bulk install must converge on one root.
+        incremental = BucketedDigest()
+        for i in range(50):
+            incremental.update(f"key-{i}", f"key-{i}=v{i}".encode())
+            incremental.root()  # interleave refreshes with mutations
+        bulk = BucketedDigest()
+        for i in reversed(range(50)):
+            bulk.update(f"key-{i}", f"key-{i}=v{i}".encode())
+        assert incremental.root() == bulk.root()
+
+    def test_root_changes_with_any_leaf(self):
+        a = BucketedDigest()
+        b = BucketedDigest()
+        for digest in (a, b):
+            for i in range(10):
+                digest.update(f"key-{i}", f"key-{i}=v{i}".encode())
+        assert a.root() == b.root()
+        b.update("key-3", b"key-3=tampered")
+        assert a.root() != b.root()
+
+    def test_only_touched_buckets_are_dirty(self):
+        digest = BucketedDigest()
+        for i in range(100):
+            digest.update(f"key-{i}", b"leaf")
+        digest.root()
+        assert digest.dirty_buckets == 0
+        digest.update("key-7", b"leaf2")
+        assert digest.dirty_buckets == 1
+
+    def test_remove_restores_prior_root(self):
+        digest = BucketedDigest()
+        digest.update("stay", b"stay=1")
+        before = digest.root()
+        digest.update("transient", b"transient=1")
+        assert digest.root() != before
+        digest.remove("transient")
+        assert digest.root() == before
+
+    def test_remove_of_absent_key_is_a_noop(self):
+        digest = BucketedDigest()
+        digest.update("k", b"v")
+        root = digest.root()
+        digest.remove("missing")
+        assert digest.dirty_buckets == 0
+        assert digest.root() == root
+
+    def test_reset_matches_fresh_instance(self):
+        digest = BucketedDigest()
+        for i in range(20):
+            digest.update(f"key-{i}", b"leaf")
+        digest.reset()
+        assert digest.entry_count == 0
+        assert digest.root() == BucketedDigest().root()
+
+    def test_zero_buckets_rejected(self):
+        with pytest.raises(LedgerError):
+            BucketedDigest(num_buckets=0)
+
+    def test_bucket_count_changes_partitioning_root(self):
+        # The bucket count is part of the digest definition; replicas must
+        # agree on it (it is a constructor constant, not negotiated state).
+        a = BucketedDigest(num_buckets=4)
+        b = BucketedDigest(num_buckets=8)
+        for digest in (a, b):
+            for i in range(10):
+                digest.update(f"key-{i}", b"leaf")
+        assert len(a.root()) == 32
+        assert len(b.root()) == 32
