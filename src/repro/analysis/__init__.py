@@ -1,0 +1,38 @@
+"""Protocol-aware static analysis for the RingBFT reproduction.
+
+An AST-based analyzer (stdlib only) enforcing the invariants this codebase's
+hardest bugs violated: determinism of protocol paths, MAC coverage of every
+message type, codec completeness of the wire-reachable type set, async
+hygiene on the shared event loops, and lock/ordering discipline around the
+audited acquisition machinery.
+
+Entry points::
+
+    ringbft lint                     # CLI (text or JSON, baseline-aware)
+    repro.analysis.run_analysis(...) # library
+
+Findings are suppressed per line with ``# repro: allow[rule-id] reason`` or
+grandfathered in a baseline file (see :mod:`repro.analysis.baseline`).
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import Report, all_rules, known_rule_ids, run_analysis
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "Report",
+    "all_rules",
+    "known_rule_ids",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_analysis",
+    "write_baseline",
+]

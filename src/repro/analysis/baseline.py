@@ -1,0 +1,47 @@
+"""Baseline file: grandfathered findings that do not fail the build.
+
+The baseline maps finding fingerprints to a human-readable record of what was
+grandfathered and why the fingerprint is stable (rule, path, symbol, message
+at capture time).  New findings -- fingerprints not in the file -- still fail;
+fixing a grandfathered finding makes its entry stale, which ``ringbft lint
+--write-baseline`` prunes on the next capture.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+def load_baseline(path: Path | str) -> frozenset[str]:
+    """Fingerprints grandfathered by the baseline at ``path`` (may not exist)."""
+    path = Path(path)
+    if not path.exists():
+        return frozenset()
+    data = json.loads(path.read_text())
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}"
+        )
+    return frozenset(entry["fingerprint"] for entry in data.get("findings", []))
+
+
+def write_baseline(path: Path | str, findings: list[Finding]) -> None:
+    """Capture ``findings`` as the new baseline (sorted, reproducible)."""
+    entries = [
+        {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "symbol": finding.symbol,
+            "message": finding.message,
+        }
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

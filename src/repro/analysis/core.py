@@ -1,0 +1,313 @@
+"""Analyzer core: source model, rule registry, and the analysis driver.
+
+Rules are small classes registered by id.  A rule inspects either one parsed
+file at a time (:meth:`Rule.check_file`) or the whole project at once
+(:meth:`Rule.check_project`) -- the protocol-invariant rules (MAC coverage,
+codec completeness, lock discipline) need the cross-file view, the local
+hygiene rules do not.  The driver parses every file once, runs the rules,
+applies suppression pragmas and the baseline, and returns a :class:`Report`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding, fingerprint_findings
+from repro.analysis.pragmas import PragmaIndex, parse_pragmas, pragma_findings
+
+
+@dataclass
+class SourceFile:
+    """One parsed python source file."""
+
+    path: Path
+    rel: str  # repo-relative POSIX path
+    module: str  # dotted module name ("" outside a package root)
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    pragmas: PragmaIndex | None = None
+
+    def line(self, lineno: int) -> str:
+        if 0 < lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST | int, message: str, symbol: str = "") -> Finding:
+        lineno = node if isinstance(node, int) else getattr(node, "lineno", 0)
+        return Finding(
+            rule=rule,
+            path=self.rel,
+            line=lineno,
+            message=message,
+            symbol=symbol,
+            snippet=self.line(lineno),
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``title``/``rationale``."""
+
+    id: str = ""
+    title: str = ""
+    #: One-paragraph statement of the protocol invariant the rule guards.
+    rationale: str = ""
+
+    def check_file(self, source: SourceFile, project: "Project") -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: "Project") -> Iterable[Finding]:
+        return ()
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"rule id {cls.id!r} registered twice")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    from repro.analysis import rules as _rules  # noqa: F401  (registers on import)
+
+    return dict(_REGISTRY)
+
+
+def known_rule_ids() -> frozenset[str]:
+    from repro.analysis.pragmas import PRAGMA_SYNTAX, PRAGMA_UNUSED
+
+    return frozenset(all_rules()) | {PRAGMA_SYNTAX, PRAGMA_UNUSED}
+
+
+# ---------------------------------------------------------------------------
+# project model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Project:
+    """Everything a rule may look at: parsed sources plus test-file text."""
+
+    root: Path
+    files: list[SourceFile]
+    #: Raw text of test files, keyed by repo-relative path.  Rules that
+    #: require *test evidence* (layout byte-identity) grep these.
+    test_texts: dict[str, str] = field(default_factory=dict)
+
+    def modules(self, *prefixes: str) -> Iterator[SourceFile]:
+        """Files whose dotted module name matches one of ``prefixes``."""
+        for source in self.files:
+            module = source.module
+            if any(module == p or module.startswith(p + ".") for p in prefixes):
+                yield source
+
+
+def _module_name(rel_to_src: Path) -> str:
+    parts = list(rel_to_src.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def load_project(
+    root: Path,
+    src: Path | None = None,
+    test_dirs: tuple[Path, ...] = (),
+) -> tuple[Project, list[Finding]]:
+    """Parse every ``.py`` under ``src`` (default ``<root>/src``).
+
+    Returns the project plus parse-failure findings (a file the analyzer
+    cannot parse cannot be certified, so it is an error, not a skip).
+    """
+    root = root.resolve()
+    src = (src or root / "src").resolve()
+    errors: list[Finding] = []
+    files: list[SourceFile] = []
+    for path in sorted(src.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(rule="parse-error", path=rel, line=exc.lineno or 0,
+                        message=f"cannot parse: {exc.msg}")
+            )
+            continue
+        files.append(
+            SourceFile(
+                path=path,
+                rel=rel,
+                module=_module_name(path.relative_to(src)),
+                source=source,
+                tree=tree,
+                lines=source.splitlines(),
+            )
+        )
+    test_texts: dict[str, str] = {}
+    for test_dir in test_dirs or (root / "tests",):
+        test_dir = Path(test_dir)
+        if not test_dir.is_absolute():
+            test_dir = root / test_dir
+        if not test_dir.is_dir():
+            continue
+        for path in sorted(test_dir.rglob("*.py")):
+            test_texts[path.relative_to(root).as_posix()] = path.read_text()
+    return Project(root=root, files=files, test_texts=test_texts), errors
+
+
+# ---------------------------------------------------------------------------
+# shared AST helpers (used by several rule modules)
+# ---------------------------------------------------------------------------
+
+
+def build_import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the fully qualified names they import.
+
+    ``import time as _t``     -> {"_t": "time"}
+    ``from time import time`` -> {"time": "time.time"}
+    ``from x import y as z``  -> {"z": "x.y"}
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def resolve_call_target(func: ast.expr, imports: dict[str, str]) -> str | None:
+    """Best-effort dotted name of a call target, resolved through imports."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = imports.get(node.id, node.id)
+    parts.append(base)
+    return ".".join(reversed(parts))
+
+
+class SymbolVisitor(ast.NodeVisitor):
+    """NodeVisitor that tracks the enclosing class/function qualname."""
+
+    def __init__(self) -> None:
+        self._stack: list[str] = []
+
+    @property
+    def symbol(self) -> str:
+        return ".".join(self._stack)
+
+    def _visit_scoped(self, node: ast.AST, name: str) -> None:
+        self._stack.append(name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scoped(node, node.name)
+
+
+# ---------------------------------------------------------------------------
+# analysis driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: list[Finding]  # active findings (not suppressed, not baselined)
+    baselined: list[Finding]
+    suppressed_count: int
+    files_analyzed: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_analysis(
+    root: Path | str,
+    *,
+    src: Path | None = None,
+    test_dirs: tuple[Path, ...] = (),
+    select: tuple[str, ...] = (),
+    baseline: frozenset[str] = frozenset(),
+) -> Report:
+    """Run the registered rules over the repo at ``root``.
+
+    ``select`` restricts to the named rule ids (pragma bookkeeping findings
+    are only emitted on full runs, where "unused" is meaningful).
+    ``baseline`` is a set of grandfathered fingerprints to set aside.
+    """
+    rules = all_rules()
+    if select:
+        unknown = set(select) - set(rules)
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        rules = {rule_id: rules[rule_id] for rule_id in select}
+    project, findings = load_project(Path(root), src=src, test_dirs=test_dirs)
+    known = known_rule_ids()
+    for source in project.files:
+        source.pragmas = parse_pragmas(source.source, known)
+    for rule in rules.values():
+        for source in project.files:
+            findings.extend(rule.check_file(source, project))
+        findings.extend(rule.check_project(project))
+
+    # Suppression pass: a pragma on (or immediately above) the finding's line
+    # absorbs it; marking usage happens inside ``suppresses``.
+    by_path = {source.rel: source for source in project.files}
+    active: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        source = by_path.get(finding.path)
+        if (
+            source is not None
+            and source.pragmas is not None
+            and finding.line
+            and source.pragmas.suppresses(finding.rule, finding.line)
+        ):
+            suppressed += 1
+            continue
+        active.append(finding)
+
+    # Pragma bookkeeping only makes sense when every rule ran: on a partial
+    # run a pragma for an unselected rule would look unused.
+    if not select:
+        for source in project.files:
+            if source.pragmas is not None:
+                active.extend(pragma_findings(source.rel, source.pragmas, source.lines))
+
+    active = fingerprint_findings(active)
+    kept = [f for f in active if f.fingerprint not in baseline]
+    grandfathered = [f for f in active if f.fingerprint in baseline]
+    return Report(
+        findings=kept,
+        baselined=grandfathered,
+        suppressed_count=suppressed,
+        files_analyzed=len(project.files),
+        rules_run=tuple(sorted(rules)),
+    )

@@ -1,0 +1,67 @@
+"""Finding objects and their stable fingerprints.
+
+A finding's *fingerprint* identifies it across unrelated edits: it hashes the
+rule, the file, the enclosing symbol, and the offending source line -- but
+never the line *number*, so inserting a docstring above a grandfathered
+finding does not invalidate the baseline.  Identical (rule, file, symbol,
+line-text) tuples are disambiguated by an occurrence index, assigned in file
+order by :func:`fingerprint_findings`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    #: Repo-relative POSIX path of the offending file.
+    path: str
+    #: 1-based line of the offending node (0 for whole-file findings).
+    line: int
+    message: str
+    #: Enclosing class/function qualname, when the rule tracks one.
+    symbol: str = ""
+    #: The offending source line, stripped (empty for project-level findings).
+    snippet: str = ""
+    #: Stable identity for baselines; assigned by :func:`fingerprint_findings`.
+    fingerprint: str = field(default="", compare=False)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}" if self.line else self.path
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _raw_fingerprint(finding: Finding, occurrence: int) -> str:
+    basis = "\x1f".join(
+        (finding.rule, finding.path, finding.symbol, finding.snippet, str(occurrence))
+    )
+    return hashlib.sha256(basis.encode()).hexdigest()[:16]
+
+
+def fingerprint_findings(findings: Iterable[Finding]) -> list[Finding]:
+    """Assign line-number-independent fingerprints, in deterministic order."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+    seen: dict[tuple[str, str, str, str], int] = {}
+    out: list[Finding] = []
+    for finding in ordered:
+        key = (finding.rule, finding.path, finding.symbol, finding.snippet)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(replace(finding, fingerprint=_raw_fingerprint(finding, occurrence)))
+    return out

@@ -1,0 +1,153 @@
+"""Per-line suppression pragmas: ``# repro: allow[rule-id] reason``.
+
+A pragma suppresses findings of the named rule(s) on its own line or -- for
+pragma-above style -- on the next non-blank, non-comment line.  The reason is
+mandatory: an allowance without a recorded justification is itself reported
+(rule ``pragma-syntax``), as is a pragma naming an unknown rule or one that
+suppresses nothing (rule ``pragma-unused``) -- stale allowances must not
+accumulate silently.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+#: Rule ids of the pragma machinery itself (not suppressible).
+PRAGMA_SYNTAX = "pragma-syntax"
+PRAGMA_UNUSED = "pragma-unused"
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*(?P<body>.*)$")
+_ALLOW_RE = re.compile(r"^allow\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$", re.DOTALL)
+_RULE_ID_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+
+@dataclass
+class Pragma:
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class PragmaIndex:
+    """All well-formed pragmas of one file plus the pragma-level findings."""
+
+    pragmas: list[Pragma] = field(default_factory=list)
+    errors: list[tuple[int, str]] = field(default_factory=list)
+    #: line -> pragmas applying to that line (own line and line-above style).
+    _by_line: dict[int, list[Pragma]] = field(default_factory=dict)
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        for pragma in self._by_line.get(line, ()):
+            if rule in pragma.rules:
+                pragma.used = True
+                return True
+        return False
+
+    def unused(self) -> list[Pragma]:
+        return [p for p in self.pragmas if not p.used]
+
+
+def _comment_lines(source: str) -> list[tuple[int, str]]:
+    """(line, comment-text) for every real comment token in ``source``."""
+    comments: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The analyzer only runs on files that already parsed with ast; a
+        # tokenize hiccup should not take the whole run down.
+        pass
+    return comments
+
+
+def _code_lines(source: str) -> set[int]:
+    """Lines carrying actual code (used to attach pragma-above comments)."""
+    lines: set[int] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        stripped = text.strip()
+        if stripped and not stripped.startswith("#"):
+            lines.add(lineno)
+    return lines
+
+
+def parse_pragmas(source: str, known_rules: frozenset[str]) -> PragmaIndex:
+    index = PragmaIndex()
+    code_lines = _code_lines(source)
+    max_line = source.count("\n") + 1
+    for lineno, comment in _comment_lines(source):
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            continue
+        body = match.group("body").strip()
+        allow = _ALLOW_RE.match(body)
+        if allow is None:
+            index.errors.append(
+                (lineno, f"malformed pragma {body!r}: expected 'allow[rule-id] reason'")
+            )
+            continue
+        rules = tuple(part.strip() for part in allow.group("rules").split(",") if part.strip())
+        reason = allow.group("reason").strip()
+        bad = [r for r in rules if not _RULE_ID_RE.match(r)]
+        unknown = [r for r in rules if _RULE_ID_RE.match(r) and r not in known_rules]
+        if not rules or bad:
+            index.errors.append((lineno, f"pragma names no valid rule ids: {body!r}"))
+            continue
+        if unknown:
+            index.errors.append(
+                (lineno, f"pragma names unknown rule(s) {', '.join(sorted(unknown))}")
+            )
+            continue
+        if not reason:
+            index.errors.append(
+                (lineno, f"pragma allow[{', '.join(rules)}] has no reason; justify the allowance")
+            )
+            continue
+        pragma = Pragma(line=lineno, rules=rules, reason=reason)
+        index.pragmas.append(pragma)
+        targets = [lineno]
+        if lineno not in code_lines:
+            # Comment-only line: the pragma covers the next code line.
+            nxt = lineno + 1
+            while nxt <= max_line and nxt not in code_lines:
+                nxt += 1
+            if nxt <= max_line:
+                targets.append(nxt)
+        for target in targets:
+            index._by_line.setdefault(target, []).append(pragma)
+    return index
+
+
+def pragma_findings(path: str, index: PragmaIndex, lines: list[str]) -> list[Finding]:
+    """Findings for malformed and unused pragmas in one file."""
+
+    def snippet(lineno: int) -> str:
+        return lines[lineno - 1].strip() if 0 < lineno <= len(lines) else ""
+
+    findings = [
+        Finding(rule=PRAGMA_SYNTAX, path=path, line=lineno, message=message,
+                snippet=snippet(lineno))
+        for lineno, message in index.errors
+    ]
+    findings.extend(
+        Finding(
+            rule=PRAGMA_UNUSED,
+            path=path,
+            line=pragma.line,
+            message=(
+                f"pragma allow[{', '.join(pragma.rules)}] suppresses nothing; "
+                "remove it or fix the rule id"
+            ),
+            snippet=snippet(pragma.line),
+        )
+        for pragma in index.unused()
+    )
+    return findings

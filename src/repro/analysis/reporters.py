@@ -1,0 +1,41 @@
+"""Text and JSON reporters for analysis reports."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import Report
+
+
+def render_text(report: Report) -> str:
+    lines: list[str] = []
+    for finding in report.findings:
+        where = finding.location()
+        symbol = f" in {finding.symbol}" if finding.symbol else ""
+        lines.append(f"{where}: [{finding.rule}]{symbol} {finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    if lines:
+        lines.append("")
+    lines.append(
+        f"{len(report.findings)} finding(s), {len(report.baselined)} baselined, "
+        f"{report.suppressed_count} suppressed, {report.files_analyzed} file(s), "
+        f"{len(report.rules_run)} rule(s)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    payload = {
+        "clean": report.clean,
+        "summary": {
+            "findings": len(report.findings),
+            "baselined": len(report.baselined),
+            "suppressed": report.suppressed_count,
+            "files_analyzed": report.files_analyzed,
+            "rules_run": list(report.rules_run),
+        },
+        "findings": [finding.to_json() for finding in report.findings],
+        "baselined": [finding.to_json() for finding in report.baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,132 @@
+"""Shared cross-file class-graph model for the protocol-invariant rules.
+
+MAC coverage and codec completeness both need a project-wide view of class
+definitions: who subclasses ``Message``, which classes carry which decorators,
+and which class names a class's field annotations mention.  Class names are
+treated as globally unique -- the codec's wire-type registry enforces exactly
+that for everything on the wire, and the rules only reason about those.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.core import Project, SourceFile
+
+
+def _tail_name(node: ast.expr) -> str | None:
+    """The terminal identifier of a Name/Attribute chain (``a.b.C`` -> ``C``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _decorator_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = _tail_name(target)
+        if name:
+            names.add(name)
+    return names
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call) and _tail_name(decorator.func) == "dataclass":
+            for keyword in decorator.keywords:
+                if keyword.arg == "frozen" and isinstance(keyword.value, ast.Constant):
+                    return bool(keyword.value.value)
+    return False
+
+
+def _annotation_names(node: ast.expr) -> set[str]:
+    """Every bare identifier mentioned in a type annotation expression."""
+    names: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            # String annotations ("Transaction") parse as expressions too.
+            try:
+                names |= _annotation_names(ast.parse(child.value, mode="eval").body)
+            except SyntaxError:
+                pass
+    return names
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    source: SourceFile
+    node: ast.ClassDef
+    bases: set[str] = field(default_factory=set)
+    decorators: set[str] = field(default_factory=set)
+    frozen_dataclass: bool = False
+    is_enum: bool = False
+    #: Class names mentioned in field annotations (the reachability edges).
+    field_type_names: set[str] = field(default_factory=set)
+
+
+@dataclass
+class ClassGraph:
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    def subclasses_of(self, root: str) -> dict[str, ClassInfo]:
+        """Transitive subclasses of ``root`` (excluding ``root`` itself)."""
+        out: dict[str, ClassInfo] = {}
+        frontier = {root}
+        while frontier:
+            frontier = {
+                name
+                for name, info in self.classes.items()
+                if name not in out and name != root and info.bases & (frontier | {root})
+            }
+            for name in frontier:
+                out[name] = self.classes[name]
+        return out
+
+    def reachable_from(self, roots: set[str]) -> dict[str, ClassInfo]:
+        """Classes reachable from ``roots`` through field-annotation edges."""
+        out: dict[str, ClassInfo] = {}
+        frontier = [name for name in roots if name in self.classes]
+        while frontier:
+            name = frontier.pop()
+            if name in out:
+                continue
+            info = self.classes[name]
+            out[name] = info
+            frontier.extend(t for t in info.field_type_names if t in self.classes)
+        return out
+
+
+def build_class_graph(project: Project) -> ClassGraph:
+    graph = ClassGraph()
+    for source in project.files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = {name for base in node.bases if (name := _tail_name(base))}
+            annotations: set[str] = set()
+            for statement in node.body:
+                if isinstance(statement, ast.AnnAssign):
+                    annotations |= _annotation_names(statement.annotation)
+            info = ClassInfo(
+                name=node.name,
+                source=source,
+                node=node,
+                bases=bases,
+                decorators=_decorator_names(node),
+                frozen_dataclass=_is_frozen_dataclass(node),
+                is_enum="Enum" in bases or "enum" in bases,
+                field_type_names=annotations,
+            )
+            # First definition wins; duplicate class names across the tree are
+            # possible for private helpers but irrelevant to the wire rules.
+            graph.classes.setdefault(node.name, info)
+    return graph

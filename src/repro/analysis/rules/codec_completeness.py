@@ -1,0 +1,173 @@
+"""Codec completeness: the wire-reachable type set is closed and tested.
+
+Two obligations:
+
+* **codec-registered** -- every frozen dataclass (or enum) reachable from a
+  wire message through field annotations must carry ``@register_wire_type``;
+  otherwise the socket backend cannot decode it and the sim/socket parity
+  breaks the first time the type rides inside an envelope.
+
+* **layout-identity-test** -- every ``codec.compile_fixed_dict`` layout is a
+  hand-scheduled encoder that *must* stay byte-identical to the generic
+  walker; each one needs a test asserting that identity.  The rule accepts as
+  evidence a test file that names the layout constant directly, or one that
+  names a consuming class and contains an identity assertion of the canonical
+  shape ``<accessor>() == [codec.]encode_canonical(...)`` where the accessor
+  is one of ``payload_bytes``/``packed_bytes``/``signed_payload``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.core import Project, Rule, SourceFile, register_rule
+from repro.analysis.findings import Finding
+from repro.analysis.rules._classgraph import build_class_graph
+
+
+@register_rule
+class CodecRegisteredRule(Rule):
+    id = "codec-registered"
+    title = "Wire-reachable dataclasses and enums are codec-registered"
+    rationale = (
+        "decode_canonical rebuilds dataclasses and enums via the wire-type "
+        "registry; an unregistered type nested in a message decodes as an "
+        "error on the socket backend only, which no in-process test catches."
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        graph = build_class_graph(project)
+        roots = set(graph.subclasses_of("Message"))
+        findings: list[Finding] = []
+        for name, info in sorted(graph.reachable_from(roots).items()):
+            if not (info.frozen_dataclass or info.is_enum):
+                continue
+            if "register_wire_type" in info.decorators:
+                continue
+            findings.append(
+                info.source.finding(
+                    self.id,
+                    info.node,
+                    f"{name} is reachable from a wire message but not "
+                    "@register_wire_type-decorated; the socket backend cannot "
+                    "decode it",
+                    symbol=name,
+                )
+            )
+        return findings
+
+
+def _layout_assignments(source: SourceFile) -> list[tuple[str, ast.Assign]]:
+    out: list[tuple[str, ast.Assign]] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+            continue
+        func = node.value.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name != "compile_fixed_dict":
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out.append((target.id, node))
+    return out
+
+
+def _line_range_index(source: SourceFile) -> list[tuple[str, int, int]]:
+    """(class name, first line, last line) for every top-level class."""
+    ranges = []
+    for node in source.tree.body:
+        if isinstance(node, ast.ClassDef):
+            ranges.append((node.name, node.lineno, node.end_lineno or node.lineno))
+    return ranges
+
+
+def _consumers(source: SourceFile, layout_name: str) -> set[str]:
+    """Class names whose bodies mention ``layout_name``, directly or through
+    one level of module-level helper function indirection."""
+    mention_lines = [
+        lineno
+        for lineno, text in enumerate(source.lines, start=1)
+        if layout_name in text
+    ]
+    class_ranges = _line_range_index(source)
+
+    def classes_mentioning(token: str) -> set[str]:
+        hits = set()
+        for name, start, end in class_ranges:
+            if any(token in source.lines[i] for i in range(start - 1, end)):
+                hits.add(name)
+        return hits
+
+    direct = set()
+    for name, start, end in class_ranges:
+        if any(start <= line <= end for line in mention_lines):
+            direct.add(name)
+    if direct:
+        return direct
+    # Indirection: a module-level function references the layout; classes
+    # referencing that function are the consumers (e.g. the shared
+    # signed-payload helper behind Commit and CommitCertificate).
+    helpers = {
+        node.name
+        for node in source.tree.body
+        if isinstance(node, ast.FunctionDef)
+        and any(
+            node.lineno <= line <= (node.end_lineno or node.lineno)
+            for line in mention_lines
+        )
+    }
+    consumers: set[str] = set()
+    for helper in helpers:
+        consumers |= classes_mentioning(helper)
+    return consumers
+
+
+@register_rule
+class LayoutIdentityTestRule(Rule):
+    id = "layout-identity-test"
+    title = "Every compile_fixed_dict layout has a byte-identity test"
+    rationale = (
+        "A compiled layout that drifts from encode_canonical silently changes "
+        "digests and MACs for fast-path encoders only; each layout needs a "
+        "test pinning byte identity with the generic walker."
+    )
+
+    #: The canonical identity-assert shape the vote-codec tests established.
+    _IDENTITY_ASSERT = re.compile(
+        r"\.(payload_bytes|packed_bytes|signed_payload)\(\)\s*==\s*"
+        r"(codec\.)?encode_canonical\("
+    )
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        texts = project.test_texts.values()
+        identity_texts = [text for text in texts if self._IDENTITY_ASSERT.search(text)]
+        for source in project.files:
+            for layout_name, node in _layout_assignments(source):
+                if any(layout_name in text for text in texts):
+                    continue
+                consumers = _consumers(source, layout_name)
+                if consumers and any(
+                    any(re.search(rf"\b{re.escape(name)}\b", text) for name in consumers)
+                    for text in identity_texts
+                ):
+                    continue
+                hint = (
+                    f"consumers: {', '.join(sorted(consumers))}" if consumers
+                    else "no consuming class found"
+                )
+                findings.append(
+                    source.finding(
+                        self.id,
+                        node,
+                        f"layout {layout_name} has no byte-identity test against "
+                        f"encode_canonical ({hint}); add one or the packed fast "
+                        "path can drift from the generic wire format",
+                        symbol=layout_name,
+                    )
+                )
+        return findings

@@ -1,0 +1,278 @@
+"""Determinism rules: no nondeterminism sources inside protocol paths.
+
+The pipeline k=1 byte-identical-chain gate and every replay/parity test in
+this repo depend on protocol decisions being pure functions of (config, seed,
+message order).  Three leak classes are statically detectable:
+
+* **wall-clock** -- ``time.time()``/``datetime.now()`` readings differ per
+  host and per run; protocol code must take time from the scheduler/kernel.
+* **global-rng / os-entropy** -- the module-level ``random`` functions share
+  one process-global generator (seeded from the OS by default) and
+  ``os.urandom``/``secrets``/``uuid4`` are entropy by definition; protocol
+  code must draw from an explicitly seeded ``random.Random`` instance.
+* **unordered-iteration** -- iterating a ``set``/``frozenset`` enumerates in
+  hash order, which for strings depends on the per-process hash seed
+  (``PYTHONHASHSEED``): two replicas iterating "the same" set can disagree.
+  Dict iteration is exempt -- insertion order is deterministic when the
+  insertions are.  Wrap set iteration in ``sorted(...)``.
+
+Scope: the packages that make protocol decisions (``repro.consensus``,
+``repro.txn``, ``repro.sim``, ``repro.common``, plus the protocol subclasses
+in ``repro.core`` and ``repro.baselines``).  Driver/CLI/benchmark code may
+read the wall clock freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import (
+    Project,
+    Rule,
+    SourceFile,
+    SymbolVisitor,
+    build_import_table,
+    register_rule,
+    resolve_call_target,
+)
+from repro.analysis.findings import Finding
+
+#: Dotted module prefixes the determinism rules apply to.
+PROTOCOL_SCOPE = (
+    "repro.consensus",
+    "repro.txn",
+    "repro.sim",
+    "repro.common",
+    "repro.core",
+    "repro.baselines",
+)
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``random.Random`` (and ``Random`` imported from random) constructs an
+#: explicitly seeded generator -- that is the sanctioned pattern, not a leak.
+_GLOBAL_RNG_OK = frozenset({"random.Random"})
+
+_OS_ENTROPY = frozenset(
+    {
+        "os.urandom",
+        "random.SystemRandom",
+        "uuid.uuid4",
+        "uuid.uuid1",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+
+def _in_scope(source: SourceFile) -> bool:
+    return any(
+        source.module == p or source.module.startswith(p + ".") for p in PROTOCOL_SCOPE
+    )
+
+
+def _is_set_expression(node: ast.expr, imports: dict[str, str]) -> bool:
+    """Syntactically a set: display, comprehension, or set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        target = resolve_call_target(node.func, imports)
+        return target in ("set", "frozenset")
+    return False
+
+
+class _DeterminismVisitor(SymbolVisitor):
+    def __init__(self, rule_id: str, source: SourceFile, targets: frozenset[str],
+                 message: str, allowed: frozenset[str] = frozenset()) -> None:
+        super().__init__()
+        self.rule_id = rule_id
+        self.source = source
+        self.imports = build_import_table(source.tree)
+        self.targets = targets
+        self.allowed = allowed
+        self.message = message
+        self.findings: list[Finding] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = resolve_call_target(node.func, self.imports)
+        if target is not None and target in self.targets and target not in self.allowed:
+            self.findings.append(
+                self.source.finding(
+                    self.rule_id, node, self.message.format(target=target), self.symbol
+                )
+            )
+        self.generic_visit(node)
+
+
+@register_rule
+class WallClockRule(Rule):
+    id = "wall-clock"
+    title = "No wall-clock readings in protocol paths"
+    rationale = (
+        "Protocol decisions must be a function of scheduler time, not host "
+        "time; wall-clock reads break replay determinism and cross-replica "
+        "agreement on timeouts."
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if not _in_scope(source):
+            return ()
+        visitor = _DeterminismVisitor(
+            self.id, source, _WALL_CLOCK,
+            "wall-clock read {target}() in a protocol path; take time from the "
+            "scheduler/kernel instead",
+        )
+        visitor.visit(source.tree)
+        return visitor.findings
+
+
+@register_rule
+class GlobalRngRule(Rule):
+    id = "global-rng"
+    title = "No process-global random module calls in protocol paths"
+    rationale = (
+        "The module-level random functions share one OS-seeded global "
+        "generator; protocol randomness must come from an explicitly seeded "
+        "random.Random threaded through the call graph."
+    )
+
+    #: Every public callable of the global generator, resolved post-import.
+    _TARGETS = frozenset(
+        {
+            "random.random",
+            "random.randint",
+            "random.randrange",
+            "random.choice",
+            "random.choices",
+            "random.sample",
+            "random.shuffle",
+            "random.uniform",
+            "random.expovariate",
+            "random.gauss",
+            "random.normalvariate",
+            "random.seed",
+            "random.getrandbits",
+            "random.betavariate",
+            "random.triangular",
+            "random.vonmisesvariate",
+            "random.paretovariate",
+            "random.weibullvariate",
+            "random.lognormvariate",
+            "random.gammavariate",
+        }
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if not _in_scope(source):
+            return ()
+        visitor = _DeterminismVisitor(
+            self.id, source, self._TARGETS,
+            "process-global {target}() in a protocol path; draw from a seeded "
+            "random.Random instance",
+            allowed=_GLOBAL_RNG_OK,
+        )
+        visitor.visit(source.tree)
+        return visitor.findings
+
+
+@register_rule
+class OsEntropyRule(Rule):
+    id = "os-entropy"
+    title = "No OS entropy sources in protocol paths"
+    rationale = (
+        "os.urandom/secrets/uuid4 are nondeterministic by design; protocol "
+        "identifiers and nonces must derive from seeded state so replicas "
+        "and replays agree."
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if not _in_scope(source):
+            return ()
+        visitor = _DeterminismVisitor(
+            self.id, source, _OS_ENTROPY,
+            "OS entropy source {target}() in a protocol path; derive from "
+            "seeded state instead",
+        )
+        visitor.visit(source.tree)
+        return visitor.findings
+
+
+class _SetIterationVisitor(SymbolVisitor):
+    def __init__(self, rule_id: str, source: SourceFile) -> None:
+        super().__init__()
+        self.rule_id = rule_id
+        self.source = source
+        self.imports = build_import_table(source.tree)
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.expr) -> None:
+        if _is_set_expression(node, self.imports):
+            self.findings.append(
+                self.source.finding(
+                    self.rule_id,
+                    node,
+                    "iteration over a set enumerates in hash order (varies with "
+                    "PYTHONHASHSEED); wrap it in sorted(...)",
+                    self.symbol,
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._flag(generator.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # list(set(...)) / tuple(set(...)) / "".join(set(...)) materialise the
+        # hash order just as directly as a for-loop over it.
+        target = resolve_call_target(node.func, self.imports)
+        materialisers = ("list", "tuple", "enumerate", "iter", "next")
+        if (target in materialisers or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+        )) and node.args:
+            self._flag(node.args[0])
+        self.generic_visit(node)
+
+
+@register_rule
+class UnorderedIterationRule(Rule):
+    id = "unordered-iteration"
+    title = "No hash-order set iteration in protocol paths"
+    rationale = (
+        "Set iteration order depends on the per-process string hash seed, so "
+        "two replicas iterating equal sets can process elements in different "
+        "orders; protocol paths must sort before iterating."
+    )
+
+    def check_file(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        if not _in_scope(source):
+            return ()
+        visitor = _SetIterationVisitor(self.id, source)
+        visitor.visit(source.tree)
+        return visitor.findings

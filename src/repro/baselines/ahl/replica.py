@@ -23,7 +23,13 @@ what the paper blames for AHL's poor cross-shard scalability.
 
 from __future__ import annotations
 
-from repro.baselines.ahl.messages import CommitteeVote, Decide2PC, Prepare2PC, Vote2PC
+from repro.baselines.ahl.messages import (
+    CommitteeDecision,
+    CommitteeVote,
+    Decide2PC,
+    Prepare2PC,
+    Vote2PC,
+)
 from repro.baselines.ahl.records import AhlRecord
 from repro.common.messages import ClientRequest, batch_digest
 from repro.consensus.pbft.replica import PbftReplica
@@ -40,6 +46,7 @@ class AhlReplica(PbftReplica):
         Prepare2PC,
         Vote2PC,
         CommitteeVote,
+        CommitteeDecision,
         Decide2PC,
     )
 

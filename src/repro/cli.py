@@ -292,6 +292,57 @@ def _cmd_deploy_local(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro import analysis
+
+    root = Path(args.root).resolve()
+    if not (root / "src" / "repro").is_dir():
+        print(f"error: {root} does not look like the repo root (no src/repro)",
+              file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for rule_id, rule in sorted(analysis.all_rules().items()):
+            print(f"{rule_id:24} {rule.title}")
+        return 0
+
+    select = tuple(s.strip() for s in args.select.split(",") if s.strip()) if args.select else ()
+    baseline_path = Path(args.baseline) if args.baseline else root / analysis.DEFAULT_BASELINE_NAME
+    baseline = frozenset()
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            baseline = analysis.load_baseline(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        report = analysis.run_analysis(root, select=select, baseline=baseline)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        analysis.write_baseline(baseline_path, report.findings)
+        print(f"wrote baseline with {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    rendered = (
+        analysis.render_json(report) if args.format == "json" else analysis.render_text(report)
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.format} report to {args.output}")
+        if report.findings:
+            print(f"{len(report.findings)} non-baselined finding(s)", file=sys.stderr)
+    else:
+        print(rendered)
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ringbft",
@@ -440,6 +491,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     deploy_parser.add_argument("--json", help="also write the aggregated report to this file")
     deploy_parser.set_defaults(func=_cmd_deploy_local)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the protocol-aware static-analysis rules over the repo",
+        description=(
+            "AST-based protocol invariants: determinism, MAC coverage, codec "
+            "completeness, async hygiene, lock/ordering discipline.  Exits 0 "
+            "when no finding is outside the baseline, 1 otherwise.  Suppress a "
+            "single line with '# repro: allow[rule-id] reason'."
+        ),
+    )
+    lint_parser.add_argument(
+        "--root", default=".", help="repository root (default: current directory)"
+    )
+    lint_parser.add_argument("--format", choices=("text", "json"), default="text")
+    lint_parser.add_argument(
+        "--output", help="write the report to this file instead of stdout"
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        help="baseline file of grandfathered findings "
+        "(default: <root>/analysis-baseline.json when it exists)",
+    )
+    lint_parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore any baseline file"
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="capture the current findings as the new baseline and exit 0",
+    )
+    lint_parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all; pragma "
+        "bookkeeping only runs on full runs)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
 
     return parser
 

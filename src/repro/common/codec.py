@@ -136,7 +136,7 @@ def _encode_bool(value: bool, out: list[bytes]) -> None:
     out.append(_TRUE if value else _FALSE)
 
 
-def _sorted_items(value: dict) -> list:
+def _sorted_items(value: dict[Any, Any]) -> list[tuple[Any, Any]]:
     """Dict entries in canonical encoding order (shared by encode and the
     decoder's canonical-form validation)."""
     try:
@@ -148,7 +148,7 @@ def _sorted_items(value: dict) -> list:
         return [kv for _, kv in sorted((encode_canonical(k), (k, v)) for k, v in value.items())]
 
 
-def _encode_dict(value: dict, out: list[bytes]) -> None:
+def _encode_dict(value: dict[Any, Any], out: list[bytes]) -> None:
     out.append(_DICT)
     out.append(_pack_len(len(value)))
     for key, val in _sorted_items(value):
@@ -156,28 +156,28 @@ def _encode_dict(value: dict, out: list[bytes]) -> None:
         _encode_into(val, out)
 
 
-def _encode_list(value: list, out: list[bytes]) -> None:
+def _encode_list(value: list[Any], out: list[bytes]) -> None:
     out.append(_LIST)
     out.append(_pack_len(len(value)))
     for item in value:
         _encode_into(item, out)
 
 
-def _encode_tuple(value: tuple, out: list[bytes]) -> None:
+def _encode_tuple(value: tuple[Any, ...], out: list[bytes]) -> None:
     out.append(_TUPLE)
     out.append(_pack_len(len(value)))
     for item in value:
         _encode_into(item, out)
 
 
-def _encode_frozenset(value, out: list[bytes]) -> None:
+def _encode_frozenset(value: frozenset[Any], out: list[bytes]) -> None:
     encoded = sorted(encode_canonical(item) for item in value)
     out.append(_FROZENSET)
     out.append(_pack_len(len(encoded)))
     out.extend(encoded)
 
 
-_ENCODERS: dict[type, Callable] = {
+_ENCODERS: dict[type, Callable[[Any, list[bytes]], None]] = {
     str: _encode_str,
     int: _encode_int,
     bytes: _encode_bytes,
@@ -260,7 +260,7 @@ def compile_fixed_dict(
     static: dict[str, Any],
     dynamic_keys: tuple[str, ...],
     raw_keys: tuple[str, ...] = (),
-):
+) -> Callable[..., bytes]:
     """Compile a fixed-layout encoder for dicts with a known key set.
 
     The hot vote payloads (Prepare/Commit/Checkpoint) are tiny dicts whose
@@ -682,7 +682,7 @@ def prime_payload(obj: Any, payload: bytes) -> None:
 
 
 def memoized_packed_payload(
-    obj: Any, encoder: Callable[..., bytes], build_fields: Callable[[], Any], values: tuple
+    obj: Any, encoder: Callable[..., bytes], build_fields: Callable[[], Any], values: tuple[Any, ...]
 ) -> bytes:
     """Like :func:`memoized_payload`, but the first encode uses a compiled
     fixed-layout ``encoder`` (see :func:`compile_fixed_dict`) over ``values``

@@ -26,6 +26,7 @@ import hashlib
 import hmac
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
 
 from repro.common.codec import register_wire_type
 from repro.errors import CryptoError
@@ -54,12 +55,12 @@ class LruCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
-        self._data: OrderedDict = OrderedDict()
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._data)
 
-    def get(self, key):
+    def get(self, key: Hashable) -> Any:
         value = self._data.get(key, _MISS)
         if value is _MISS:
             self.misses += 1
@@ -68,7 +69,7 @@ class LruCache:
         self.hits += 1
         return value
 
-    def put(self, key, value) -> None:
+    def put(self, key: Hashable, value: Any) -> None:
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
@@ -252,7 +253,7 @@ class MacAuthenticator:
         expected = hmac.new(self._key_for(peer), payload, hashlib.sha256).digest()
         return hmac.compare_digest(expected, tag)
 
-    def tag_vector(self, peers, payload: bytes) -> dict[str, bytes]:
+    def tag_vector(self, peers: Iterable[str], payload: bytes) -> dict[str, bytes]:
         """The PBFT authenticator: one pairwise tag per audience member.
 
         This is the broadcast fast path: ``payload`` is resolved once (it is

@@ -17,7 +17,7 @@ process no matter how many times it is sent, received, or retransmitted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.common import codec
 from repro.common.codec import register_wire_type
@@ -73,7 +73,7 @@ class Message:
         """
         return codec.memoized_payload(self, self._payload_fields)
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {"type": self.type_name, "sender": str(self.sender)}
 
     def digest(self) -> bytes:
@@ -139,7 +139,7 @@ class ClientRequest(Message):
     transaction: Transaction
     signature: Signature | None = None
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -169,7 +169,7 @@ class ClientResponse(Message):
     result: dict[str, str]
     shard: int
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -195,7 +195,7 @@ class PrePrepare(Message):
     batch_digest: bytes
     requests: tuple[ClientRequest, ...]
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -230,7 +230,9 @@ _COMMIT_VOTE_LAYOUT = codec.compile_fixed_dict(
 )
 
 
-def _packed_payload_bytes(layout, values_of):
+def _packed_payload_bytes(
+    layout: Callable[..., bytes], values_of: Callable[[Any], tuple[Any, ...]]
+) -> Callable[[Any], bytes]:
     """Build a ``payload_bytes`` method over a compiled ``layout``.
 
     One definition of the hit-path protocol for all packed vote types: a
@@ -261,7 +263,7 @@ class Prepare(Message):
     sequence: int
     batch_digest: bytes
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -276,7 +278,7 @@ class Prepare(Message):
     )
 
 
-def _commit_vote_fields(view: int, sequence: int, batch_digest: bytes) -> dict:
+def _commit_vote_fields(view: int, sequence: int, batch_digest: bytes) -> dict[str, Any]:
     """The fields replicas sign in a Commit vote (sender excluded on purpose:
     ``nf`` distinct signatures over the *same* bytes form a certificate)."""
     return {
@@ -287,7 +289,7 @@ def _commit_vote_fields(view: int, sequence: int, batch_digest: bytes) -> dict:
     }
 
 
-def _memoized_signed_payload(obj, view: int, sequence: int, batch_digest: bytes) -> bytes:
+def _memoized_signed_payload(obj: Any, view: int, sequence: int, batch_digest: bytes) -> bytes:
     if codec.LEGACY.enabled:
         return codec.legacy_json_bytes(_commit_vote_fields(view, sequence, batch_digest))
     cached = obj.__dict__.get("_signed_payload_memo")
@@ -308,7 +310,7 @@ class Commit(Message):
     batch_digest: bytes
     signature: Signature | None = None
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -382,7 +384,7 @@ class Forward(Message):
     read_sets: dict[int, dict[str, str]] = field(default_factory=dict)
     signature: Signature | None = None
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -424,7 +426,7 @@ class Execute(Message):
     origin_shard: int
     signature: Signature | None = None
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -444,7 +446,7 @@ class RemoteView(Message):
     target_shard: int
     signature: Signature | None = None
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -466,7 +468,7 @@ class Checkpoint(Message):
     sequence: int
     state_digest: bytes
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -505,7 +507,7 @@ class ViewChange(Message):
     last_stable_sequence: int
     prepared: tuple[PreparedProof, ...] = ()
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -535,7 +537,7 @@ class NewView(Message):
     reproposals: tuple[PrePrepare, ...] = ()
     abandoned: tuple[int, ...] = ()
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -571,7 +573,7 @@ class StateTransferRequest(Message):
     def wire_size(self) -> int:
         return 128
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),
@@ -592,13 +594,13 @@ class StateTransferReply(Message):
     state_digest: bytes
     store_snapshot: dict[str, str]
     executed_txn_ids: tuple[str, ...]
-    blocks: tuple = ()
+    blocks: tuple[Any, ...] = ()
 
     def wire_size(self) -> int:
         # Dominated by the snapshot; approximate with one KV pair ~ 64 bytes.
         return 512 + 64 * len(self.store_snapshot)
 
-    def _payload_fields(self) -> dict:
+    def _payload_fields(self) -> dict[str, Any]:
         return {
             "type": self.type_name,
             "sender": str(self.sender),

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.common import codec
 from repro.common.crypto import KeyStore, SignatureScheme
-from repro.common.messages import ClientRequest, ClientResponse
+from repro.common.messages import ClientRequest, ClientResponse, Message
 from repro.config import TimerConfig
 from repro.consensus.directory import Directory
 from repro.sim.network import Network
@@ -117,7 +117,7 @@ class Client(Node):
     # responses
     # ------------------------------------------------------------------
 
-    def on_message(self, message) -> None:
+    def on_message(self, message: Message) -> None:
         if not isinstance(message, ClientResponse):
             return
         entry = self._in_flight.get(message.txn_id)

@@ -19,6 +19,8 @@ without touching the intra-shard core.
 
 from __future__ import annotations
 
+from typing import Callable, Iterable, Sequence
+
 from repro.common import codec
 from repro.common.batching import Batcher
 from repro.common.crypto import KeyStore, MacAuthenticator, SignatureScheme
@@ -34,6 +36,7 @@ from repro.common.messages import (
     PreparedProof,
     StateTransferReply,
     StateTransferRequest,
+    Message,
     ViewChange,
     batch_digest,
 )
@@ -188,7 +191,7 @@ class PbftReplica(Node):
     def is_primary(self) -> bool:
         return self.primary == self.replica_id
 
-    def _broadcast_shard(self, message, include_self: bool = True) -> None:
+    def _broadcast_shard(self, message: Message, include_self: bool = True) -> None:
         """Broadcast to every replica of this shard, honouring dark-target attacks."""
         targets = [r for r in self.shard_peers if r not in self.dark_targets]
         self._authenticate_for_audience(message, [r for r in targets if r != self.replica_id])
@@ -198,7 +201,7 @@ class PbftReplica(Node):
     # broadcast authentication (pairwise MAC vector, one payload resolve)
     # ------------------------------------------------------------------
 
-    def _authenticate_for_audience(self, message, peers) -> None:
+    def _authenticate_for_audience(self, message: Message, peers: Sequence[ReplicaId]) -> None:
         """Attach the PBFT authenticator (per-peer MAC vector) for a broadcast.
 
         The key structure stays pairwise -- a shared audience key would let a
@@ -224,7 +227,7 @@ class PbftReplica(Node):
             message.attach_auth(f"peer:{peer}", vector[str(peer)])
         self.auth_tags_created += len(missing)
 
-    def _authenticate_cross_shard_broadcast(self, message, shards) -> None:
+    def _authenticate_cross_shard_broadcast(self, message: Message, shards: Iterable[int]) -> None:
         """Authenticate a broadcast spanning several shards (AHL's 2PC and
         Sharper's global rounds fan one message out to every replica of every
         involved shard): one pairwise tag per receiving replica, all over the
@@ -256,7 +259,7 @@ class PbftReplica(Node):
         StateTransferReply,
     )
 
-    def _verify_broadcast_auth(self, message) -> bool:
+    def _verify_broadcast_auth(self, message: Message) -> bool:
         """Check the MAC vector riding on a delivered message.
 
         The receiver verifies *its own* pairwise tag against the claimed
@@ -283,12 +286,12 @@ class PbftReplica(Node):
     # dispatch
     # ------------------------------------------------------------------
 
-    def on_message(self, message) -> None:
+    def on_message(self, message: Message) -> None:
         if not self._verify_broadcast_auth(message):
             return
         self._dispatch(message)
 
-    def deliver_loopback(self, message) -> None:
+    def deliver_loopback(self, message: Message) -> None:
         """This replica's own broadcast looping back: no network hop, no MAC
         gate (the gate would otherwise reject it -- a sender does not tag
         itself, and a *received* message naming us as sender is spoofable)."""
@@ -296,7 +299,7 @@ class PbftReplica(Node):
             return
         self._dispatch(message)
 
-    def _dispatch(self, message) -> None:
+    def _dispatch(self, message: Message) -> None:
         if isinstance(message, ClientRequest):
             self._handle_client_request(message)
         elif isinstance(message, PrePrepare):
@@ -318,7 +321,7 @@ class PbftReplica(Node):
         else:
             self._handle_protocol_message(message)
 
-    def _handle_protocol_message(self, message) -> None:
+    def _handle_protocol_message(self, message: Message) -> None:
         """Hook for subclass-specific messages (Forward, Execute, 2PC votes, ...)."""
 
     # ------------------------------------------------------------------
@@ -750,7 +753,7 @@ class PbftReplica(Node):
         sequence: int,
         digest: bytes,
         batch: tuple[ClientRequest, ...],
-        continuation,
+        continuation: Callable[[], None],
     ) -> None:
         """Acquire the batch's locks in sequence order, then run ``continuation``.
 
