@@ -56,6 +56,10 @@ _WALL_CLOCK = frozenset(
         "time.monotonic_ns",
         "time.perf_counter",
         "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.thread_time",
+        "time.thread_time_ns",
         "datetime.datetime.now",
         "datetime.datetime.utcnow",
         "datetime.datetime.today",

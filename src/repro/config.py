@@ -143,6 +143,16 @@ class PipelineConfig:
     #: flush timer forces it out (seconds; pipelined primaries only --
     #: depth=1 keeps the legacy BATCH_FLUSH_DELAY).
     target_queue_delay: float = 0.05
+    #: EWMA smoothing factor for the slot-occupancy controller's commit
+    #: latency and arrival-rate estimates (0 < alpha <= 1).
+    ewma_alpha: float = 0.2
+    #: Seed value for the commit-latency EWMA before the first measured
+    #: sample (seconds) -- a deterministic prior, never a host reading.
+    latency_prior_s: float = 0.005
+    #: In-flight demand (``arrival_rate * commit_latency``, in busy slots) at
+    #: which the rate-shaped pump engages; below it the pump degrades to the
+    #: proven eager behaviour (ship immediately when the window is idle).
+    sustain_threshold: float = 1.0
 
     def __post_init__(self) -> None:
         if self.depth < 1:
@@ -158,6 +168,12 @@ class PipelineConfig:
             )
         if self.target_queue_delay <= 0:
             raise ConfigurationError("target_queue_delay must be positive")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
+        if self.latency_prior_s <= 0:
+            raise ConfigurationError("latency_prior_s must be positive")
+        if self.sustain_threshold <= 0:
+            raise ConfigurationError("sustain_threshold must be positive")
 
 
 @dataclass(frozen=True)

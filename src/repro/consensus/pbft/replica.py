@@ -44,6 +44,7 @@ from repro.common.types import ReplicaId
 from repro.config import PipelineConfig, TimerConfig
 from repro.consensus.directory import Directory
 from repro.consensus.pbft.log import ConsensusLog, SlotState
+from repro.consensus.pbft.pacing import SlotOccupancyController
 from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.storage.checkpoint import CheckpointStore
@@ -106,6 +107,20 @@ class PbftReplica(Node):
         #: abandoned yet -- the occupied part of the proposal window.
         self._open_slots: set[int] = set()
         self.peak_open_slots = 0
+        #: Rate-shaped pump state: EWMA load/latency estimates and the
+        #: occupancy gauge.  Only fed on the depth>1 paths, so the depth=1
+        #: legacy code path stays byte-identical.
+        self.pacing = SlotOccupancyController(
+            depth=self.pipeline.depth,
+            min_batch=self.pipeline.min_batch_size,
+            max_batch=self.pipeline.max_batch_size or self.batcher.batch_size,
+            ewma_alpha=self.pipeline.ewma_alpha,
+            latency_prior_s=self.pipeline.latency_prior_s,
+            sustain_threshold=self.pipeline.sustain_threshold,
+        )
+        #: Batches proposed by the shaped rules vs the eager fallback.
+        self.shaped_batch_count = 0
+        self.fallback_batch_count = 0
         #: txn_id -> stage time at this primary, consumed at proposal time to
         #: derive the per-batch queue delay (time a request waited for its
         #: batch to open a slot).
@@ -365,10 +380,19 @@ class PbftReplica(Node):
     def _redirect_client_request(self, request: ClientRequest) -> None:
         """Hook: base protocol drops requests for other shards."""
 
-    def _enqueue_for_proposal(self, request: ClientRequest) -> None:
+    def _enqueue_for_proposal(self, request: ClientRequest, *, fresh: bool = True) -> None:
         txn_id = request.transaction.txn_id
-        if txn_id in self._enqueued_txns or self.executor.already_executed(txn_id):
-            # Retransmission of a transaction that is already being ordered.
+        if (
+            txn_id in self._enqueued_txns
+            or txn_id in self._committed_txn_ids
+            or self.executor.already_executed(txn_id)
+        ):
+            # Retransmission of a transaction that is already being ordered,
+            # already ordered (committed but not yet executed), or finished.
+            # The committed check matters after a view change: a new primary
+            # that lagged behind the old view's commits re-stages its pending
+            # backlog, and ordering an already-committed transaction a second
+            # time would duplicate it in the chain.
             return
         self._enqueued_txns.add(txn_id)
         self._enqueue_times[txn_id] = self.now
@@ -380,18 +404,24 @@ class PbftReplica(Node):
             elif not self.has_timer("batch-flush"):
                 self.set_timer("batch-flush", BATCH_FLUSH_DELAY, self._flush_batches)
             return
+        if fresh:
+            # Re-staged requests (a new primary resubmitting the old view's
+            # backlog) are not offered load: thousands of same-instant
+            # zero gaps would collapse the interarrival EWMA and pin the
+            # rate estimate at infinity for the rest of the run.
+            self.pacing.note_arrival(self.now)
         self.batcher.stage(request)
-        self._pump_pipeline(eager=False)
+        self._pump_pipeline("arrival")
 
     def _flush_batches(self) -> None:
         if self.pipeline.depth <= 1:
             for batch in self.batcher.flush():
                 self._propose(tuple(batch))
             return
-        # The flush timer forces staged requests out even below
-        # min_batch_size; sizing still goes through the adaptive rule, so a
-        # deep queue is never emitted as one-request crumbs.
-        self._pump_pipeline()
+        # The flush timer forces staged requests out even below the shaped
+        # ceiling / min_batch_size; sizing still goes through the adaptive
+        # rule, so a deep queue is never emitted as one-request crumbs.
+        self._pump_pipeline("flush")
 
     # ------------------------------------------------------------------
     # pipelined proposal window (depth > 1)
@@ -415,28 +445,57 @@ class PbftReplica(Node):
         size = -(-pending // chunks)
         return max(self.pipeline.min_batch_size, min(size, max_batch))
 
-    def _pump_pipeline(self, eager: bool = True) -> None:
-        """Open proposal slots up to the window depth with adaptive batches.
+    def _pump_pipeline(self, reason: str = "slot") -> None:
+        """Open proposal slots up to the window depth, rate-shaped.
 
-        Group-commit pacing: an *eager* pump (slot closed, flush deadline)
-        ships everything staged; the arrival-time pump (``eager=False``)
-        ships immediately only when the window is idle or a full batch is
-        ready -- while consensus is in flight, the in-flight round itself is
-        the batching clock, so arrivals accumulate instead of fragmenting
-        into per-request proposals.  Requests left staged are covered by the
-        flush timer re-armed below.
+        ``reason`` names the event that triggered the pump: ``"arrival"`` (a
+        request was staged), ``"slot"`` (a slot left the window), or
+        ``"flush"`` (the queue-delay timer fired).
+
+        Two regimes, chosen by the occupancy controller's measured in-flight
+        demand (:meth:`SlotOccupancyController.window_sustainable`):
+
+        * **shaped** -- arrivals can keep the window busy, so every slot is
+          worth a real batch: the pump proposes only ceiling-sized batches
+          (:meth:`~SlotOccupancyController.batch_ceiling` targets ``depth``
+          concurrently-busy slots) and otherwise lets requests accumulate.
+          No 1-txn crumbs while the window has headroom, no whole-queue
+          mega-batch starving slots 2..k.
+        * **eager fallback** -- arrivals are slower than consensus rounds
+          (the controller cannot keep even one slot busy), so holding buys
+          nothing: ship immediately when the window is idle, and while a
+          round is in flight let it act as the batching clock.  This is the
+          pre-shaping pump, byte-for-byte, and the k=1-style mega-batching it
+          degrades to under a deep queue is the proven closed-loop behaviour.
+
+        Either way the flush timer re-armed below bounds how long a staged
+        request can wait, and flush-triggered pumps size batches through the
+        adaptive even-split rule so they never emit crumbs from a deep queue.
         """
+        shaped = self.pacing.window_sustainable()
         while len(self._open_slots) < self.pipeline.depth:
             pending = self.batcher.pending
             if pending == 0:
                 break
-            if not eager and pending < self.pipeline.min_batch_size:
-                break
-            if not eager and self._open_slots and pending < self._max_adaptive_batch():
-                break
-            batch = self.batcher.take(self._adaptive_batch_size(pending))
+            if shaped and reason != "flush":
+                size = self.pacing.batch_ceiling()
+                if pending < size:
+                    break
+            elif reason == "arrival":
+                if pending < self.pipeline.min_batch_size:
+                    break
+                if self._open_slots and pending < self._max_adaptive_batch():
+                    break
+                size = self._adaptive_batch_size(pending)
+            else:
+                size = self._adaptive_batch_size(pending)
+            batch = self.batcher.take(size)
             if not batch:
                 break
+            if shaped and reason != "flush":
+                self.shaped_batch_count += 1
+            else:
+                self.fallback_batch_count += 1
             self._propose(tuple(batch))
         if self.batcher.pending and not self.has_timer("batch-flush"):
             self.set_timer(
@@ -448,6 +507,8 @@ class PbftReplica(Node):
         self._open_slots.add(sequence)
         if len(self._open_slots) > self.peak_open_slots:
             self.peak_open_slots = len(self._open_slots)
+        if self.pipeline.depth > 1:
+            self.pacing.note_propose(self.now, sequence)
         self.proposed_batch_count += 1
         self.proposed_txn_count += len(batch)
         now = self.now
@@ -457,12 +518,13 @@ class PbftReplica(Node):
                 self.queue_delay_total += now - staged_at
                 self.proposed_request_count += 1
 
-    def _close_slot(self, sequence: int) -> None:
+    def _close_slot(self, sequence: int, *, committed: bool = True) -> None:
         """A slot left the window (committed or abandoned): refill it."""
         if sequence in self._open_slots:
             self._open_slots.discard(sequence)
             if self.pipeline.depth > 1:
-                self._pump_pipeline()
+                self.pacing.note_close(self.now, sequence, committed=committed)
+                self._pump_pipeline("slot")
 
     @property
     def open_slot_count(self) -> int:
@@ -475,6 +537,13 @@ class PbftReplica(Node):
         if not self.proposed_request_count:
             return 0.0
         return self.queue_delay_total / self.proposed_request_count
+
+    @property
+    def pacing_stats(self) -> dict[str, float | int]:
+        """Occupancy-controller gauge readings (empty when not pipelined)."""
+        if self.pipeline.depth <= 1:
+            return {}
+        return self.pacing.snapshot(self.now)
 
     def _local_timeout(self) -> float:
         """Local timeout with exponential backoff over successive views.
@@ -507,6 +576,16 @@ class PbftReplica(Node):
 
     def _propose(self, batch: tuple[ClientRequest, ...]) -> None:
         """Primary-only: assign a sequence number and broadcast a PrePrepare."""
+        # Last-line exactly-once guard: a request staged before a view change
+        # can commit (via the new view's re-proposals) while it still sits in
+        # the batcher queue.  Healthy runs never hit this filter, so the
+        # proposal stream -- and the depth=1 chain identity -- is unchanged.
+        batch = tuple(
+            request
+            for request in batch
+            if request.transaction.txn_id not in self._committed_txn_ids
+            and not self.executor.already_executed(request.transaction.txn_id)
+        )
         if not batch:
             return
         digest = batch_digest(batch)
@@ -644,8 +723,24 @@ class PbftReplica(Node):
             self.cancel_timer(f"request-{request.transaction.txn_id}")
         self._ledger_pending[sequence] = digest
         self._drain_ledger()
-        self._close_slot(sequence)
+        if self.pipeline.depth > 1:
+            self.pacing.note_commit(self.now, sequence)
+        if not self._defer_slot_release(sequence, digest):
+            self._close_slot(sequence)
         self._on_batch_committed(view, sequence, digest, batch)
+
+    def _defer_slot_release(self, sequence: int, digest: bytes) -> bool:
+        """Hook: whether a committed slot stays open past local commit.
+
+        The base protocol frees a slot at commit time -- consensus on the
+        sequence is over.  A meta protocol may keep it open while the batch
+        still has cross-shard work in flight, which turns the proposal window
+        into a speculation bound: a primary cannot launch more concurrent
+        cross-shard batches than it has slots, so ``depth`` back-pressures the
+        ring instead of only the local three-phase pipeline.  A subclass that
+        returns True owns the matching :meth:`_close_slot` call.
+        """
+        return False
 
     def _drain_ledger(self) -> None:
         """Append committed batches to the ledger strictly in sequence order.
@@ -1084,6 +1179,7 @@ class PbftReplica(Node):
         # either re-proposed below (prepared certificate survived) or
         # abandoned as a no-op, so the window restarts empty in the new view.
         self._open_slots.clear()
+        self.pacing.note_reset(self.now)
         highest = max(
             [p.sequence for p in message.reproposals]
             + [s for s in message.abandoned]
@@ -1092,6 +1188,17 @@ class PbftReplica(Node):
         )
         if self.is_primary:
             self.next_sequence = max(self.next_sequence, highest + 1)
+        if self.is_primary:
+            # The re-proposed requests are already being ordered in this
+            # view; without this the pending-backlog re-staging below would
+            # order them a second time at a fresh sequence (the re-proposal
+            # has not committed yet, so the committed-set guard cannot see
+            # them).
+            self._enqueued_txns.update(
+                request.transaction.txn_id
+                for reproposal in message.reproposals
+                for request in reproposal.requests
+            )
         for sequence in message.abandoned:
             self._abandon_sequence(sequence)
         for reproposal in message.reproposals:
@@ -1114,7 +1221,7 @@ class PbftReplica(Node):
             return
         self.cancel_timer(f"slot-{sequence}")
         self._abandoned_sequences.add(sequence)
-        self._close_slot(sequence)
+        self._close_slot(sequence, committed=False)
         self._execute_ready_batches()
         self._drain_ledger()
         for unblocked in self.locks.skip_sequence(sequence):
@@ -1125,7 +1232,7 @@ class PbftReplica(Node):
         for request in list(self._pending_client_requests.values()):
             if self.is_primary:
                 if not self.byzantine_silent:
-                    self._enqueue_for_proposal(request)
+                    self._enqueue_for_proposal(request, fresh=False)
             else:
                 self.send(self.primary, request)
                 self._start_request_timer(request.transaction.txn_id)

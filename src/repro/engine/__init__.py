@@ -18,6 +18,7 @@ from repro.engine.backends import (
 from repro.engine.deployment import Deployment, RunResult
 from repro.engine.driver import (
     OpenLoopWorkloadDriver,
+    PoissonSaturationDriver,
     SustainedLoadDriver,
     WorkloadDriver,
     run_protocol_workload,
@@ -31,6 +32,7 @@ __all__ = [
     "Deployment",
     "ExecutionBackend",
     "OpenLoopWorkloadDriver",
+    "PoissonSaturationDriver",
     "RealTimeBackend",
     "RunResult",
     "Scheduler",

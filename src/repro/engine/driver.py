@@ -258,6 +258,99 @@ class SustainedLoadDriver:
         )
 
 
+@dataclass
+class PoissonSaturationDriver:
+    """Open-loop Poisson injection for a fixed duration at a fixed rate.
+
+    Where :class:`SustainedLoadDriver` runs until a stable-checkpoint target
+    (GC experiments), this driver measures *capacity*: inject Poisson
+    arrivals at ``rate_per_second`` for ``duration_s`` protocol seconds and
+    report the completion rate inside the injection window after a
+    ``warmup_s`` ramp.  When the offered rate exceeds the deployment's
+    capacity the queue grows and the in-window completion rate plateaus at
+    the capacity -- the knee of the sustained-throughput curve.
+
+    Two readings matter and both are taken at the *end of injection*, before
+    the drain: :attr:`sustained_tps` (in-window completions per second) and
+    :attr:`steady_pipeline_stats` (the proposal-window gauges while the load
+    was still applied -- after the drain the pacing EWMAs decay toward the
+    idle regime and stop describing the run).
+    """
+
+    deployment: Deployment
+    generator: "YcsbWorkloadGenerator"
+    rate_per_second: float
+    duration_s: float
+    warmup_s: float = 0.0
+    drain_s: float = 10.0
+    seed: int = 2022
+    submitted: int = 0
+    sustained_tps: float = 0.0
+    steady_pipeline_stats: dict = field(default_factory=dict)
+    _rng: random.Random = field(init=False, repr=False)
+    _client_ids: list[str] = field(default_factory=list, repr=False)
+    _next_client: int = 0
+    _started_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_second <= 0:
+            raise ValueError("rate_per_second must be positive")
+        if not 0.0 <= self.warmup_s < self.duration_s:
+            raise ValueError("warmup_s must lie inside the injection window")
+        self._rng = random.Random(self.seed)
+        self._client_ids = list(self.deployment.clients)
+
+    def _schedule_next_arrival(self) -> None:
+        self.deployment.scheduler.schedule(
+            self._rng.expovariate(self.rate_per_second), self._arrive
+        )
+
+    def _arrive(self) -> None:
+        if self.deployment.now - self._started_at >= self.duration_s:
+            return
+        client_id = self._client_ids[self._next_client % len(self._client_ids)]
+        self._next_client += 1
+        txn = self.generator.generate(1, client_id)[0]
+        self.deployment.submit(txn, client_id)
+        self.submitted += 1
+        self._schedule_next_arrival()
+
+    def run(self, *, check_consistency: bool = True) -> RunResult:
+        """Inject for ``duration_s``, snapshot steady gauges, drain, report."""
+        from repro.metrics.collector import summarize_pipeline
+
+        started_at = self.deployment.now
+        wall_started = _time.perf_counter()
+        completed_before = self.deployment.completed_transactions()
+        message_counts_before = self.deployment.message_counts()
+        cache_stats_before = self.deployment.cache_stats_snapshot()
+        self._started_at = started_at
+        self._schedule_next_arrival()
+        self.deployment.backend.run_until_time(started_at + self.duration_s)
+        self.steady_pipeline_stats = summarize_pipeline(
+            self.deployment.replicas.values()
+        )
+        self.deployment.backend.run_until_time(self.deployment.now + self.drain_s)
+        window_start = started_at + self.warmup_s
+        window_end = started_at + self.duration_s
+        in_window = sum(
+            1
+            for client in self.deployment.clients.values()
+            for record in client.completed
+            if window_start <= record.completed_at <= window_end
+        )
+        self.sustained_tps = in_window / (window_end - window_start)
+        return self.deployment.collect_result(
+            submitted=self.submitted,
+            started_at=started_at,
+            wall_started=wall_started,
+            completed_before=completed_before,
+            message_counts_before=message_counts_before,
+            cache_stats_before=cache_stats_before,
+            check_consistency=check_consistency,
+        )
+
+
 def run_sustained_load(
     config,
     *,

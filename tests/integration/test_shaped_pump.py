@@ -1,0 +1,208 @@
+"""Property sweep: the rate-shaped pump is safe across seeds x depths x rates.
+
+The shaped regime only engages under open-loop pressure (measured in-flight
+demand above ``sustain_threshold``), so these tests drive the deployment with
+a seeded Poisson arrival process -- the same machinery as the open-loop
+benchmark -- and assert the safety properties the controller must never
+trade away for throughput:
+
+* no proposed batch ever exceeds ``max_batch_size``, shaped or fallback,
+* the GC watermark never truncates an open (possibly deferred) slot,
+* a view change that lands mid-shaped-window still converges to a single
+  global commit order with exactly-once execution.
+"""
+
+import random
+
+import pytest
+
+from repro.common.messages import PrePrepare
+from repro.config import PipelineConfig, SystemConfig, TimerConfig, WorkloadConfig
+from repro.engine.deployment import Deployment
+from repro.workloads.ycsb import YcsbWorkloadGenerator
+
+SHARDS = 3
+REPLICAS = 4
+MAX_BATCH = 8
+
+
+def _build(depth, seed, *, sustain_threshold=0.3, timers=None, num_records=10_000):
+    workload = WorkloadConfig(
+        num_records=num_records,
+        cross_shard_fraction=0.3,
+        batch_size=50,
+        num_clients=SHARDS * 2,
+        seed=seed,
+    )
+    if timers is None:
+        # Generous fault timers: saturation must not read as a faulty
+        # primary unless a test wants exactly that.
+        timers = TimerConfig(
+            local_timeout=30.0,
+            remote_timeout=60.0,
+            transmit_timeout=90.0,
+            client_timeout=120.0,
+        )
+    pipeline = PipelineConfig(
+        depth=depth,
+        max_batch_size=MAX_BATCH,
+        sustain_threshold=sustain_threshold,
+    )
+    config = SystemConfig.uniform(
+        SHARDS, REPLICAS, workload=workload, timers=timers, pipeline=pipeline
+    )
+    deployment = Deployment.build(
+        config, backend="sim", num_clients=0, batch_size=50, seed=seed
+    )
+    for i, shard in enumerate(config.shards):
+        for j in range(2):
+            deployment.add_client(f"client-{i}-{j}", region=shard.region)
+    return config, deployment
+
+
+def _inject_poisson(deployment, config, rate, seed, duration_s):
+    """Seeded Poisson arrivals round-robined over the clients."""
+    generator = YcsbWorkloadGenerator(
+        deployment.table, deployment.directory.ring, config.workload, seed=seed
+    )
+    rng = random.Random(seed)
+    clients = list(deployment.clients)
+    state = {"count": 0}
+    start = deployment.now
+
+    def arrive():
+        if deployment.now - start >= duration_s:
+            return
+        client_id = clients[state["count"] % len(clients)]
+        state["count"] += 1
+        deployment.submit(generator.generate(1, client_id)[0], client_id)
+        deployment.scheduler.schedule(rng.expovariate(rate), arrive)
+
+    deployment.scheduler.schedule(rng.expovariate(rate), arrive)
+    return state
+
+
+class TestBatchCeilingIsNeverExceeded:
+    @pytest.mark.parametrize("seed", (1, 2022))
+    @pytest.mark.parametrize("depth", (2, 4))
+    @pytest.mark.parametrize("rate", (600.0, 1800.0))
+    def test_no_proposal_above_max_batch(self, seed, depth, rate):
+        config, deployment = _build(depth, seed)
+        try:
+            oversized = []
+            for replica in deployment.replicas.values():
+                original = replica._broadcast_shard
+
+                def tracked(message, include_self=True, *, r=replica, orig=original):
+                    if isinstance(message, PrePrepare):
+                        if len(message.requests) > MAX_BATCH:
+                            oversized.append(
+                                (str(r.replica_id), message.sequence, len(message.requests))
+                            )
+                    orig(message, include_self)
+
+                replica._broadcast_shard = tracked
+
+            _inject_poisson(deployment, config, rate, seed, duration_s=2.0)
+            deployment.run(duration=deployment.now + 5.0)
+
+            assert oversized == []
+            shaped = sum(
+                r.shaped_batch_count for r in deployment.replicas.values()
+            )
+            if rate >= 1800.0:
+                # The sweep must actually exercise the shaped regime at the
+                # saturating rate, or the ceiling assertion proves nothing.
+                assert shaped > 0
+            for shard in range(SHARDS):
+                assert deployment.ledgers_consistent(shard)
+        finally:
+            deployment.close()
+
+
+class TestGcNeverTruncatesShapedWindow:
+    @pytest.mark.parametrize("seed", (7, 2022))
+    @pytest.mark.parametrize("depth", (2, 4))
+    def test_watermark_stays_below_deferred_slots(self, seed, depth):
+        timers = TimerConfig(
+            local_timeout=30.0,
+            remote_timeout=60.0,
+            transmit_timeout=90.0,
+            client_timeout=120.0,
+            checkpoint_interval=4,  # GC churns while the window is busy
+        )
+        config, deployment = _build(depth, seed, timers=timers)
+        try:
+            violations = []
+            for replica in deployment.replicas.values():
+                original = replica._truncate_below
+
+                def tracked(watermark, *, r=replica, orig=original):
+                    if r._open_slots and watermark >= min(r._open_slots):
+                        violations.append(
+                            (str(r.replica_id), watermark, min(r._open_slots))
+                        )
+                    orig(watermark)
+
+                replica._truncate_below = tracked
+
+            _inject_poisson(deployment, config, 1500.0, seed, duration_s=2.0)
+            deployment.run(duration=deployment.now + 6.0)
+
+            gc_runs = sum(r.gc_runs for r in deployment.replicas.values())
+            assert gc_runs >= 1
+            assert violations == []
+            for shard in range(SHARDS):
+                assert deployment.ledgers_consistent(shard)
+        finally:
+            deployment.close()
+
+
+class TestViewChangeMidShapedWindow:
+    def test_overload_view_change_recovers_single_commit_order(self):
+        """A short local timeout under saturation fires a real view change
+        while the window is half shaped (deferred cross-shard slots open,
+        shaped batches in flight).  The new primary must re-stage the
+        backlog and every shard must still converge to one commit order with
+        exactly-once execution."""
+        # Clients submit straight to the primary, so the backup-side request
+        # timers that drive a view change only arm once a client
+        # *retransmits* (broadcast to the shard).  A short client timeout
+        # plus a short local timeout means a request stuck in the overloaded
+        # primary's queue escalates to a view change in under a second.
+        timers = TimerConfig(
+            local_timeout=0.4,
+            remote_timeout=20.0,
+            transmit_timeout=40.0,
+            client_timeout=0.5,
+        )
+        config, deployment = _build(2, 2022, timers=timers)
+        try:
+            state = _inject_poisson(
+                deployment, config, 2200.0, 2022, duration_s=3.0
+            )
+            deployment.run(duration=deployment.now + 25.0)
+
+            replicas = list(deployment.replicas.values())
+            # Saturation at 2.2k/s against ~1.2k/s of depth-2 capacity must
+            # push queue delay past the timers: the scenario is only
+            # interesting if a view change actually happened.
+            assert any(r.view >= 1 for r in replicas)
+            assert state["count"] > 1000
+            for shard in range(SHARDS):
+                members = deployment.shard_replicas(shard)
+                assert deployment.ledgers_consistent(shard)
+                committed = {
+                    txn_id
+                    for replica in members
+                    for block in replica.ledger.blocks()
+                    for txn_id in block.txn_ids
+                }
+                orders = {
+                    tuple(r.ledger.commit_order(committed)) for r in members
+                }
+                assert len(orders) == 1
+                order = orders.pop()
+                assert len(order) == len(set(order))
+        finally:
+            deployment.close()

@@ -97,6 +97,72 @@ class TestDeterminismRules:
         )
         assert not report.findings
 
+    # Fixture pair for the slot-occupancy controller: an EWMA estimator is
+    # deterministic only if its state starts from a configured prior and every
+    # sample is scheduler time passed in by the caller.  The bad twin commits
+    # the two mistakes the rule family exists to catch -- reading a host
+    # clock inside the update and seeding the smoothing state from the
+    # process-global RNG.
+
+    _GOOD_CONTROLLER = (
+        "class Controller:\n"
+        "    def __init__(self, alpha, latency_prior_s):\n"
+        "        self._alpha = alpha\n"
+        "        self._latency_s = latency_prior_s\n"
+        "        self._open_since = {}\n\n"
+        "    def note_propose(self, now, sequence):\n"
+        "        self._open_since[sequence] = now\n\n"
+        "    def note_commit(self, now, sequence):\n"
+        "        proposed_at = self._open_since.get(sequence)\n"
+        "        if proposed_at is None:\n"
+        "            return\n"
+        "        sample = now - proposed_at\n"
+        "        self._latency_s += self._alpha * (sample - self._latency_s)\n"
+    )
+
+    _BAD_CONTROLLER = (
+        "import random\n"
+        "import time\n\n"
+        "class Controller:\n"
+        "    def __init__(self, alpha):\n"
+        "        self._alpha = alpha\n"
+        "        self._latency_s = random.random() * 0.01\n"
+        "        self._open_since = {}\n\n"
+        "    def note_propose(self, sequence):\n"
+        "        self._open_since[sequence] = time.process_time()\n\n"
+        "    def note_commit(self, sequence):\n"
+        "        proposed_at = self._open_since.get(sequence)\n"
+        "        if proposed_at is None:\n"
+        "            return\n"
+        "        sample = time.process_time() - proposed_at\n"
+        "        self._latency_s += self._alpha * (sample - self._latency_s)\n"
+    )
+
+    def test_seeded_ewma_controller_is_clean(self, tmp_path):
+        report = self._analyze(
+            tmp_path,
+            self._GOOD_CONTROLLER,
+            module="src/repro/consensus/pbft/pacing_fixture.py",
+        )
+        assert not report.findings
+
+    def test_wall_clock_ewma_controller_is_flagged(self, tmp_path):
+        report = self._analyze(
+            tmp_path,
+            self._BAD_CONTROLLER,
+            module="src/repro/consensus/pbft/pacing_fixture.py",
+        )
+        assert len(_rules_of(report, "wall-clock")) == 2  # both process_time reads
+        assert len(_rules_of(report, "global-rng")) == 1  # RNG-seeded EWMA state
+
+    def test_real_pacing_module_is_clean(self):
+        report = run_analysis(
+            REPO_ROOT,
+            select=("wall-clock", "global-rng", "os-entropy", "unordered-iteration"),
+        )
+        pacing = [f for f in report.findings if f.path.endswith("pacing.py")]
+        assert pacing == []
+
 
 # ---------------------------------------------------------------------------
 # MAC coverage family
